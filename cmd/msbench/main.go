@@ -1,0 +1,150 @@
+// Command msbench regenerates the paper's evaluation tables and
+// figures (DESIGN.md's experiment index) on the scaled synthetic
+// datasets. Datasets are generated under -data on first use and reused
+// afterwards.
+//
+// Usage:
+//
+//	msbench -data data -exp all
+//	msbench -data data -exp fig7 -dataset wilds-sim
+//	msbench -data data -exp fig11 -queries 200
+//
+// Experiments: fig7 (incl. Table 2), fig8, fig9, fig10, fig11 (incl.
+// the ratio subfigures), size, ablation, sweep, all.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"masksearch/internal/bench"
+	"masksearch/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msbench: ")
+
+	var (
+		dataDir = flag.String("data", "data", "directory for generated datasets")
+		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|all")
+		dataset = flag.String("dataset", "both", "dataset: wilds-sim|imagenet-sim|both")
+		queries = flag.Int("queries", 0, "override query count for fig8/fig9/ablation/sweep")
+		wqs     = flag.Int("workload-queries", 0, "override workload length for fig11")
+		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
+		mibps   = flag.Float64("throttle-mibps", 0, "simulate a disk limited to this read bandwidth (MiB/s); the paper's EBS volume provided 125")
+	)
+	flag.Parse()
+
+	cfg := bench.Default(*dataDir)
+	if *quick {
+		cfg = bench.Quick(*dataDir)
+	}
+	if *queries > 0 {
+		cfg.NQueries = *queries
+	}
+	if *wqs > 0 {
+		cfg.NWorkloadQueries = *wqs
+	}
+
+	var envs []*bench.DatasetEnv
+	setup := func(f func() (*bench.DatasetEnv, error), name string) {
+		log.Printf("setting up %s (generated on first run; this can take a minute)", name)
+		d, err := f()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *mibps > 0 {
+			// All reads — including the one-time index build — go
+			// through the simulated disk, matching the paper's setup
+			// where CHI construction also reads from EBS.
+			d.Store.SetThrottle(store.Throttle{BytesPerSec: *mibps * (1 << 20)})
+		}
+		envs = append(envs, d)
+	}
+	switch *dataset {
+	case "wilds-sim":
+		setup(cfg.SetupWilds, cfg.Wilds.Name)
+	case "imagenet-sim":
+		setup(cfg.SetupImagenet, cfg.Imagenet.Name)
+	case "both":
+		setup(cfg.SetupWilds, cfg.Wilds.Name)
+		setup(cfg.SetupImagenet, cfg.Imagenet.Name)
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	ctx := context.Background()
+	run := func(name string, f func(d *bench.DatasetEnv) (fmt.Stringer, error)) {
+		for _, d := range envs {
+			log.Printf("running %s on %s", name, d.Params.Name)
+			rep, err := f(d)
+			if err != nil {
+				log.Fatalf("%s on %s: %v", name, d.Params.Name, err)
+			}
+			fmt.Println(rep.String())
+		}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	if want("size") {
+		any = true
+		run("size", func(d *bench.DatasetEnv) (fmt.Stringer, error) { return bench.Size(d) })
+	}
+	if want("fig7") {
+		any = true
+		run("fig7", func(d *bench.DatasetEnv) (fmt.Stringer, error) { return bench.Fig7(ctx, d) })
+	}
+	if want("fig8") {
+		any = true
+		run("fig8", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Fig8(ctx, d, cfg.NQueries, cfg.Seed)
+		})
+	}
+	if want("fig9") {
+		any = true
+		run("fig9", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Fig9(ctx, d, cfg.NQueries, cfg.Seed)
+		})
+	}
+	if want("fig10") {
+		any = true
+		run("fig10", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Fig10(d, 1000, cfg.Seed)
+		})
+	}
+	if want("fig11") {
+		any = true
+		run("fig11", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Fig11(ctx, d, cfg.NWorkloadQueries, cfg.Seed)
+		})
+	}
+	if want("ablation") {
+		any = true
+		run("ablation", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Ablation(d, cfg.NQueries, cfg.Seed)
+		})
+	}
+	if want("edges") {
+		any = true
+		run("edges", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Edges(d, max(1, cfg.NQueries/5), cfg.Seed)
+		})
+	}
+	if want("sweep") {
+		any = true
+		run("sweep", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Sweep(d, max(1, cfg.NQueries/10), cfg.Seed)
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp,
+			strings.Join([]string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "all"}, ", "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,181 @@
+// Command msinspect prints diagnostics for a mask database or a single
+// mask: catalog summaries, per-mask statistics, value histograms, an
+// ASCII heat-map rendering, and the CHI bound quality for a given
+// query shape. It is the debugging companion to msquery.
+//
+// Usage:
+//
+//	msinspect -db data/wilds-sim                      # dataset summary
+//	msinspect -db data/wilds-sim -mask 17             # one mask, rendered
+//	msinspect -db data/wilds-sim -mask 17 -lo 0.6     # plus CHI bounds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"masksearch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msinspect: ")
+
+	var (
+		dbDir  = flag.String("db", "", "database directory (required)")
+		maskID = flag.Int64("mask", 0, "inspect one mask id (0 = dataset summary)")
+		lo     = flag.Float64("lo", 0.6, "value-range lower bound for CHI bound check")
+		hi     = flag.Float64("hi", 1.0, "value-range upper bound for CHI bound check")
+		width  = flag.Int("render-width", 48, "ASCII rendering width in characters")
+	)
+	flag.Parse()
+	if *dbDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	db, err := masksearch.OpenWith(*dbDir, masksearch.Options{PersistIndexOnClose: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if *maskID == 0 {
+		summarize(db)
+		return
+	}
+	inspectMask(db, *maskID, *lo, *hi, *width)
+}
+
+// summarize prints dataset-level statistics.
+func summarize(db *masksearch.DB) {
+	entries := db.Entries()
+	fmt.Printf("masks: %d\n", len(entries))
+	images := map[int64]bool{}
+	models := map[int]int{}
+	types := map[int]int{}
+	var mispredicted, modified int
+	for _, e := range entries {
+		images[e.ImageID] = true
+		models[e.ModelID]++
+		types[e.MaskType]++
+		if e.Pred != e.Label {
+			mispredicted++
+		}
+		if e.Modified {
+			modified++
+		}
+	}
+	fmt.Printf("images: %d\n", len(images))
+	fmt.Printf("masks per model: %v\n", models)
+	fmt.Printf("masks per type: %v\n", types)
+	fmt.Printf("mispredicted masks: %d (%.1f%%)\n", mispredicted, 100*float64(mispredicted)/float64(len(entries)))
+	fmt.Printf("modified (adversarial) masks: %d\n", modified)
+	if s, err := db.IndexStats(); err == nil {
+		fmt.Printf("index: %d masks indexed, %.1f MB (%.1f%% of %.1f MB data)\n",
+			s.IndexedMasks, float64(s.IndexBytes)/1e6, 100*s.Fraction, float64(s.DataBytes)/1e6)
+	}
+}
+
+// inspectMask prints one mask's metadata, statistics, histogram, an
+// ASCII rendering, and — if the mask is indexed after an eager build —
+// the CHI bound versus the exact CP over the object box.
+func inspectMask(db *masksearch.DB, id int64, lo, hi float64, renderW int) {
+	e, err := db.Entry(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := db.LoadMask(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mask %d: image %d, model %d, type %d, %dx%d\n", e.MaskID, e.ImageID, e.ModelID, e.MaskType, m.W, m.H)
+	fmt.Printf("label %d, predicted %d, modified %v\n", e.Label, e.Pred, e.Modified)
+	fmt.Printf("object box: %v\n", e.Object)
+
+	vr := masksearch.ValueRange{Lo: lo, Hi: hi}
+	inBox := masksearch.CP(m, e.Object, vr)
+	total := masksearch.CP(m, m.Bounds(), vr)
+	fmt.Printf("CP in [%g, %g): %d in object box, %d total\n", lo, hi, inBox, total)
+
+	fmt.Println("\nvalue histogram (16 bins):")
+	hist := histogram16(m)
+	maxCount := 1
+	for _, c := range hist {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range hist {
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Printf("[%.3f,%.3f) %7d %s\n", float64(i)/16, float64(i+1)/16, c, bar)
+	}
+
+	fmt.Println("\nrendering (darker = higher value, box = object):")
+	fmt.Print(render(m, e.Object, renderW))
+}
+
+func histogram16(m *masksearch.Mask) []int {
+	h := make([]int, 16)
+	for _, v := range m.Pix {
+		i := int(v * 16)
+		if i > 15 {
+			i = 15
+		}
+		h[i]++
+	}
+	return h
+}
+
+// render draws the mask as ASCII art with the object box outlined.
+func render(m *masksearch.Mask, box masksearch.Rect, w int) string {
+	if w > m.W {
+		w = m.W
+	}
+	h := w * m.H / m.W / 2 // terminal cells are ~2x taller than wide
+	if h < 1 {
+		h = 1
+	}
+	shades := []byte(" .:-=+*#%@")
+	var b strings.Builder
+	for ry := 0; ry < h; ry++ {
+		for rx := 0; rx < w; rx++ {
+			// Average the source region of this character cell.
+			x0, x1 := rx*m.W/w, (rx+1)*m.W/w
+			y0, y1 := ry*m.H/h, (ry+1)*m.H/h
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			if y1 <= y0 {
+				y1 = y0 + 1
+			}
+			var sum float64
+			var n int
+			onEdge := false
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					sum += float64(m.At(x, y))
+					n++
+					inside := box.ContainsPoint(x, y)
+					edge := inside && (x == box.X0 || x == box.X1-1 || y == box.Y0 || y == box.Y1-1)
+					if edge {
+						onEdge = true
+					}
+				}
+			}
+			if onEdge {
+				b.WriteByte('+')
+				continue
+			}
+			idx := int(sum / float64(n) * float64(len(shades)))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+// Command msquery runs one SQL query against a mask database and
+// prints the results together with the filter–verification statistics.
+//
+// Usage:
+//
+//	msquery -db data/wilds-sim "SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > 2000 AND model_id = 1"
+//	msquery -db data/wilds-sim -eager-index "SELECT image_id, MEAN(CP(mask, object, 0.8, 1.0)) AS a FROM masks GROUP BY image_id ORDER BY a DESC LIMIT 25"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"masksearch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msquery: ")
+
+	var (
+		dbDir   = flag.String("db", "", "database directory (required)")
+		eager   = flag.Bool("eager-index", false, "build the full index before the query (vanilla MaskSearch)")
+		noSave  = flag.Bool("no-persist", false, "do not persist incrementally built indexes on exit")
+		maxRows = flag.Int("max-rows", 50, "print at most this many result rows")
+		explain = flag.Bool("explain", false, "print the compiled plan instead of executing")
+	)
+	flag.Parse()
+	if *dbDir == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: msquery -db DIR [flags] \"SELECT ...\"")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	sql := flag.Arg(0)
+
+	db, err := masksearch.OpenWith(*dbDir, masksearch.Options{
+		EagerIndex:          *eager,
+		PersistIndexOnClose: !*noSave,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	if *explain {
+		desc, err := db.Explain(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(desc)
+		return
+	}
+
+	start := time.Now()
+	res, err := db.Query(context.Background(), sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("plan: %s   time: %s\n", res.Kind, elapsed.Round(time.Microsecond))
+	fmt.Printf("stats: %s\n", res.Stats)
+	switch {
+	case len(res.Ranked) > 0:
+		fmt.Printf("%d ranked results:\n", len(res.Ranked))
+		for i, r := range res.Ranked {
+			if i >= *maxRows {
+				fmt.Printf("... (%d more)\n", len(res.Ranked)-i)
+				break
+			}
+			fmt.Printf("%4d. id=%-8d score=%g\n", i+1, r.ID, r.Score)
+		}
+	default:
+		fmt.Printf("%d matching ids:\n", len(res.IDs))
+		var b strings.Builder
+		for i, id := range res.IDs {
+			if i >= *maxRows {
+				fmt.Fprintf(&b, "... (%d more)", len(res.IDs)-i)
+				break
+			}
+			fmt.Fprintf(&b, "%d ", id)
+		}
+		fmt.Println(b.String())
+	}
+}
