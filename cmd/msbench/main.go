@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
 	"strings"
 
 	"masksearch/internal/bench"
@@ -39,6 +40,12 @@ func main() {
 		mibps   = flag.Float64("throttle-mibps", 0, "simulate a disk limited to this read bandwidth (MiB/s); the paper's EBS volume provided 125")
 	)
 	flag.Parse()
+
+	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "all"}
+	if !slices.Contains(validExps, *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(validExps, ", "))
+		os.Exit(2)
+	}
 
 	cfg := bench.Default(*dataDir)
 	if *quick {
@@ -91,60 +98,45 @@ func main() {
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
-	any := false
 	if want("size") {
-		any = true
 		run("size", func(d *bench.DatasetEnv) (fmt.Stringer, error) { return bench.Size(d) })
 	}
 	if want("fig7") {
-		any = true
 		run("fig7", func(d *bench.DatasetEnv) (fmt.Stringer, error) { return bench.Fig7(ctx, d) })
 	}
 	if want("fig8") {
-		any = true
 		run("fig8", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
 			return bench.Fig8(ctx, d, cfg.NQueries, cfg.Seed)
 		})
 	}
 	if want("fig9") {
-		any = true
 		run("fig9", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
 			return bench.Fig9(ctx, d, cfg.NQueries, cfg.Seed)
 		})
 	}
 	if want("fig10") {
-		any = true
 		run("fig10", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
 			return bench.Fig10(d, 1000, cfg.Seed)
 		})
 	}
 	if want("fig11") {
-		any = true
 		run("fig11", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
 			return bench.Fig11(ctx, d, cfg.NWorkloadQueries, cfg.Seed)
 		})
 	}
 	if want("ablation") {
-		any = true
 		run("ablation", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
 			return bench.Ablation(d, cfg.NQueries, cfg.Seed)
 		})
 	}
 	if want("edges") {
-		any = true
 		run("edges", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
 			return bench.Edges(d, max(1, cfg.NQueries/5), cfg.Seed)
 		})
 	}
 	if want("sweep") {
-		any = true
 		run("sweep", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
 			return bench.Sweep(d, max(1, cfg.NQueries/10), cfg.Seed)
 		})
-	}
-	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp,
-			strings.Join([]string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "all"}, ", "))
-		os.Exit(2)
 	}
 }

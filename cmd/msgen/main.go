@@ -69,10 +69,6 @@ func main() {
 	if err := masksearch.GenerateDataset(*out, spec); err != nil {
 		log.Fatal(err)
 	}
-	total := spec.Images * spec.Models
-	if spec.HumanAttention {
-		total += spec.Images
-	}
 	fmt.Printf("generated %s: %d images, %d masks of %dx%d in %s\n",
-		spec.Name, spec.Images, total, spec.W, spec.H, *out)
+		spec.Name, spec.Images, spec.NumMasks(), spec.W, spec.H, *out)
 }

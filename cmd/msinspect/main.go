@@ -98,7 +98,7 @@ func inspectMask(db *masksearch.DB, id int64, lo, hi float64, renderW int) {
 	vr := masksearch.ValueRange{Lo: lo, Hi: hi}
 	inBox := masksearch.CP(m, e.Object, vr)
 	total := masksearch.CP(m, m.Bounds(), vr)
-	fmt.Printf("CP in [%g, %g): %d in object box, %d total\n", lo, hi, inBox, total)
+	fmt.Printf("CP in %v: %d in object box, %d total\n", vr, inBox, total)
 
 	fmt.Println("\nvalue histogram (16 bins):")
 	hist := histogram16(m)
@@ -169,9 +169,20 @@ func render(m *masksearch.Mask, box masksearch.Rect, w int) string {
 				b.WriteByte('+')
 				continue
 			}
+			if n == 0 {
+				// Degenerate cell (possible when the render width
+				// exceeds the source region): nothing to average.
+				b.WriteByte(' ')
+				continue
+			}
+			// Clamp both ends: an all-1.0 cell indexes one past the
+			// shade table, and float error could go below zero.
 			idx := int(sum / float64(n) * float64(len(shades)))
 			if idx >= len(shades) {
 				idx = len(shades) - 1
+			}
+			if idx < 0 {
+				idx = 0
 			}
 			b.WriteByte(shades[idx])
 		}

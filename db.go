@@ -1,0 +1,312 @@
+package masksearch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"masksearch/internal/core"
+	"masksearch/internal/store"
+)
+
+// Options configures Open.
+type Options struct {
+	// EagerIndex builds the full CHI index at open time ("vanilla
+	// MaskSearch"). When false the index starts from whatever was
+	// persisted (if anything) and grows incrementally as queries
+	// verify masks (§3.6).
+	EagerIndex bool
+	// PersistIndexOnClose saves the index to <db>/chi.gob on Close so
+	// later sessions reuse it.
+	PersistIndexOnClose bool
+	// IndexConfig overrides the CHI granularity. The zero value picks
+	// a default scaled to the mask size (cells of W/4, 10 value
+	// edges). A persisted index with a different granularity is
+	// discarded.
+	IndexConfig core.Config
+}
+
+// IndexStats summarizes the state of a DB's CHI index.
+type IndexStats struct {
+	// IndexedMasks is how many masks currently have a CHI.
+	IndexedMasks int
+	// IndexBytes is the in-memory index footprint.
+	IndexBytes int64
+	// DataBytes is the size of the stored mask data.
+	DataBytes int64
+	// Fraction is IndexBytes/DataBytes.
+	Fraction float64
+}
+
+// DB is an opened mask database.
+type DB struct {
+	dir  string
+	opts Options
+	st   *store.Store
+	cat  *store.Catalog
+	idx  *core.MemoryIndex
+
+	dirty atomic.Bool // index changed since open
+}
+
+// Open opens a mask database with default options: lazy incremental
+// indexing, persisted across sessions.
+func Open(dir string) (*DB, error) {
+	return OpenWith(dir, Options{PersistIndexOnClose: true})
+}
+
+// OpenWith opens a mask database directory created by GenerateDataset.
+func OpenWith(dir string, opts Options) (*DB, error) {
+	st, cat, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.IndexConfig
+	if cfg.CellW == 0 && cfg.CellH == 0 && len(cfg.Edges) == 0 {
+		cfg = core.Config{
+			CellW: max(2, st.MaskW()/4), CellH: max(2, st.MaskH()/4),
+			Edges: core.DefaultEdges(10),
+		}
+	}
+	cfg, err = cfg.Normalize()
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	db := &DB{dir: dir, opts: opts, st: st, cat: cat}
+	db.idx = db.loadPersistedIndex(cfg)
+	if opts.EagerIndex {
+		for _, id := range cat.MaskIDs(nil) {
+			if chi, _ := db.idx.ChiFor(id); chi != nil {
+				continue
+			}
+			m, err := st.LoadMask(id)
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			db.idx.Observe(id, m)
+			db.dirty.Store(true)
+		}
+	}
+	return db, nil
+}
+
+// loadPersistedIndex restores <db>/chi.gob when present and built with
+// the wanted granularity; otherwise it starts an empty index.
+func (db *DB) loadPersistedIndex(cfg core.Config) *core.MemoryIndex {
+	f, err := os.Open(filepath.Join(db.dir, store.IndexFileName))
+	if err != nil {
+		return core.NewMemoryIndex(cfg)
+	}
+	defer f.Close()
+	ix, err := core.ReadMemoryIndex(f)
+	if err != nil || ix.Config().Key() != cfg.Key() {
+		return core.NewMemoryIndex(cfg)
+	}
+	return ix
+}
+
+// Close persists the index if configured and releases the store.
+func (db *DB) Close() error {
+	var ferr error
+	if db.opts.PersistIndexOnClose && db.dirty.Load() {
+		ferr = db.persistIndex()
+	}
+	if err := db.st.Close(); err != nil && ferr == nil {
+		ferr = err
+	}
+	return ferr
+}
+
+func (db *DB) persistIndex() error {
+	tmp, err := os.CreateTemp(db.dir, store.IndexFileName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := db.idx.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(db.dir, store.IndexFileName))
+}
+
+// env wires the query engine to this DB's store and index, growing
+// the index from every verified mask.
+func (db *DB) env() *core.Env {
+	return &core.Env{
+		Loader: db.st,
+		Index:  db.idx,
+		OnVerify: func(id int64, m *Mask) {
+			// Only dirty the index when this mask is actually new to
+			// it, so Close never rewrites an unchanged chi.gob.
+			if chi, _ := db.idx.ChiFor(id); chi == nil {
+				db.idx.Observe(id, m)
+				db.dirty.Store(true)
+			}
+		},
+	}
+}
+
+// Entries returns all catalog rows; callers must not mutate them.
+func (db *DB) Entries() []CatalogEntry { return db.cat.Entries() }
+
+// Entry returns one mask's catalog row.
+func (db *DB) Entry(id int64) (CatalogEntry, error) { return db.cat.Entry(id) }
+
+// LoadMask reads one mask from disk (counted in the store's stats).
+func (db *DB) LoadMask(id int64) (*Mask, error) { return db.st.LoadMask(id) }
+
+// IndexStats reports the current index footprint.
+func (db *DB) IndexStats() (IndexStats, error) {
+	s := IndexStats{
+		IndexedMasks: db.idx.Len(),
+		IndexBytes:   db.idx.SizeBytes(),
+		DataBytes:    db.st.DataBytes(),
+	}
+	if s.DataBytes > 0 {
+		s.Fraction = float64(s.IndexBytes) / float64(s.DataBytes)
+	}
+	return s, nil
+}
+
+// Result is the answer to one Query call.
+type Result struct {
+	// Kind reports which plan executed: filter, topk or aggregation.
+	Kind PlanKind
+	// Stats reports how the filter–verification pipeline resolved the
+	// query. Loaded counts actual mask reads: a WHERE + ORDER BY query
+	// may read an undecided mask in both its stages, so FML can exceed
+	// 1 when the pipeline did more I/O than one pass over the targets.
+	Stats core.Stats
+	// IDs holds filter results (matching mask ids in catalog order).
+	IDs []int64
+	// Ranked holds topk/aggregation results, best first. For
+	// aggregations the ID is the group key.
+	Ranked []Scored
+}
+
+// Explain parses and plans sql, returning the compiled plan rendered
+// as text without executing anything.
+func (db *DB) Explain(sql string) (string, error) {
+	stmt, err := parseQuery(sql)
+	if err != nil {
+		return "", err
+	}
+	p, err := db.plan(stmt)
+	if err != nil {
+		return "", err
+	}
+	return p.explain(), nil
+}
+
+// Query parses, plans and executes one msquery-dialect SQL statement.
+// See package sql.go for the dialect.
+func (db *DB) Query(ctx context.Context, sql string) (*Result, error) {
+	stmt, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	p, err := db.plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return db.exec(ctx, p)
+}
+
+// exec runs a compiled plan.
+func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
+	env := db.env()
+	res := &Result{Kind: p.kind}
+	targets := db.cat.MaskIDs(p.keep)
+	nConsidered := len(targets)
+
+	// LIMIT 0 is a valid, empty query — don't touch any mask.
+	if p.k == 0 {
+		res.IDs = []int64{}
+		return res, nil
+	}
+
+	// A WHERE clause with CP predicates in front of a ranking plan
+	// runs as a filter stage first.
+	prefiltered := false
+	if p.kind != planFilter && len(p.filterTerms) > 0 {
+		ids, st, err := core.Filter(ctx, env, targets, p.filterTerms, p.pred)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Merge(st)
+		targets = ids
+		prefiltered = true
+	}
+
+	switch p.kind {
+	case planFilter:
+		if len(p.filterTerms) == 0 {
+			// Metadata-only predicate: the catalog already answered it.
+			res.IDs = targets
+			res.Stats.Targets = len(targets)
+		} else if p.k > 0 {
+			// LIMIT with no ordering: scan in chunks and stop as soon
+			// as enough masks matched, skipping the tail's disk reads.
+			chunk := max(256, 4*p.k)
+			for off := 0; off < len(targets) && len(res.IDs) < p.k; off += chunk {
+				ids, st, err := core.Filter(ctx, env, targets[off:min(off+chunk, len(targets))], p.filterTerms, p.pred)
+				if err != nil {
+					return nil, err
+				}
+				res.Stats.Merge(st)
+				res.IDs = append(res.IDs, ids...)
+			}
+		} else {
+			ids, st, err := core.Filter(ctx, env, targets, p.filterTerms, p.pred)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats.Merge(st)
+			res.IDs = ids
+		}
+		if p.k > 0 && len(res.IDs) > p.k {
+			res.IDs = res.IDs[:p.k]
+		}
+	case planTopK:
+		ranked, st, err := core.TopK(ctx, env, targets, p.scoreTerms, 0, p.k, p.order)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Merge(st)
+		res.Ranked = ranked
+	case planAgg:
+		groups := db.groupTargets(p, targets)
+		ranked, st, err := core.AggTopK(ctx, env, groups, p.scoreTerms, 0, p.agg, p.k, p.order)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Merge(st)
+		res.Ranked = ranked
+	default:
+		return nil, fmt.Errorf("masksearch: unknown plan kind %v", p.kind)
+	}
+	if prefiltered {
+		// Both stages counted the prefilter survivors; the query
+		// considered each candidate mask once.
+		res.Stats.Targets = nConsidered
+	}
+	return res, nil
+}
+
+// groupTargets groups the (possibly pre-filtered) target ids by the
+// plan's group key.
+func (db *DB) groupTargets(p *plan, targets []int64) []core.Group {
+	inTargets := make(map[int64]bool, len(targets))
+	for _, id := range targets {
+		inTargets[id] = true
+	}
+	return db.cat.GroupBy(p.groupKey, func(e store.Entry) bool { return inTargets[e.MaskID] })
+}

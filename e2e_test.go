@@ -1,0 +1,117 @@
+package masksearch
+
+import (
+	"testing"
+)
+
+// TestEndToEnd mirrors the msgen → msquery → msinspect smoke flow:
+// generate the tiny preset, run a filter and an aggregation query with
+// filter–verification stats, read back entries and masks, and check
+// the incremental index persists across sessions.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	spec := TinyDataset()
+	if err := GenerateDataset(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 1: incremental indexing, persisted on close.
+	db, err := OpenWith(dir, Options{PersistIndexOnClose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := t.Context()
+	filterSQL := `SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > 20 AND model_id = 1`
+	res, err := db.Query(ctx, filterSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Targets != spec.Images {
+		t.Fatalf("model-1 targets = %d, want %d", res.Stats.Targets, spec.Images)
+	}
+	if res.Stats.Loaded == 0 {
+		t.Fatal("cold query should verify some masks")
+	}
+	coldLoaded := res.Stats.Loaded
+
+	agg, err := db.Query(ctx, `SELECT image_id, MEAN(CP(mask, object, 0.8, 1.0)) AS a FROM masks GROUP BY image_id ORDER BY a DESC LIMIT 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Ranked) != 25 {
+		t.Fatalf("agg returned %d groups, want 25", len(agg.Ranked))
+	}
+
+	// msinspect-style reads.
+	e, err := db.Entry(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := db.LoadMask(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W != spec.W || m.H != spec.H {
+		t.Fatalf("mask dims %dx%d, want %dx%d", m.W, m.H, spec.W, spec.H)
+	}
+	inBox := CP(m, e.Object, ValueRange{Lo: 0.6, Hi: 1.0})
+	total := CP(m, m.Bounds(), ValueRange{Lo: 0.6, Hi: 1.0})
+	if inBox < 0 || inBox > total || total > int64(m.W*m.H) {
+		t.Fatalf("CP invariants violated: inBox=%d total=%d", inBox, total)
+	}
+	is, err := db.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is.IndexedMasks == 0 || is.IndexBytes == 0 || is.Fraction <= 0 {
+		t.Fatalf("index stats empty after queries: %+v", is)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: the persisted index must cut the same query's loads.
+	db2, err := OpenWith(dir, Options{PersistIndexOnClose: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	is2, err := db2.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is2.IndexedMasks != is.IndexedMasks {
+		t.Fatalf("persisted index has %d masks, session 1 had %d", is2.IndexedMasks, is.IndexedMasks)
+	}
+	res2, err := db2.Query(ctx, filterSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.IDs) != len(res.IDs) {
+		t.Fatalf("warm query returned %d ids, cold returned %d", len(res2.IDs), len(res.IDs))
+	}
+	if res2.Stats.Loaded >= coldLoaded {
+		t.Fatalf("warm query loaded %d masks, cold loaded %d — persisted index unused", res2.Stats.Loaded, coldLoaded)
+	}
+
+	// Eager open: everything indexed up front.
+	db3, err := OpenWith(dir, Options{EagerIndex: true, PersistIndexOnClose: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	is3, err := db3.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if is3.IndexedMasks != len(db3.Entries()) {
+		t.Fatalf("eager open indexed %d of %d masks", is3.IndexedMasks, len(db3.Entries()))
+	}
+}
+
+// TestOpenMissingDir pins the error path for a nonexistent database.
+func TestOpenMissingDir(t *testing.T) {
+	if _, err := Open(t.TempDir() + "/nope"); err == nil {
+		t.Fatal("opening a missing database should fail")
+	}
+}

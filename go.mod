@@ -1,0 +1,3 @@
+module masksearch
+
+go 1.24

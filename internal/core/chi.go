@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Config describes one CHI granularity: the cell size of the spatial
+// grid and the pixel-value thresholds (histogram bin edges). A finer
+// grid and more edges give tighter CP bounds at the cost of a larger
+// index (paper §3.3, Figure 10).
+type Config struct {
+	// CellW, CellH are the grid cell dimensions in pixels.
+	CellW, CellH int
+	// Edges are ascending pixel-value thresholds in [0, 1). The first
+	// edge must be 0; Normalize enforces this. For each cell and each
+	// edge e the index stores the count of pixels with value >= e.
+	Edges []float64
+}
+
+// DefaultEdges returns n uniform edges 0, 1/n, ..., (n-1)/n.
+func DefaultEdges(n int) []float64 {
+	e := make([]float64, n)
+	for i := range e {
+		e[i] = float64(i) / float64(n)
+	}
+	return e
+}
+
+// Normalize returns a validated copy of the config: edges sorted,
+// deduplicated, clamped to [0, 1), with a leading 0 ensured.
+func (c Config) Normalize() (Config, error) {
+	if c.CellW <= 0 || c.CellH <= 0 {
+		return Config{}, fmt.Errorf("chi: cell size %dx%d must be positive", c.CellW, c.CellH)
+	}
+	if len(c.Edges) == 0 {
+		return Config{}, errors.New("chi: config needs at least one histogram edge")
+	}
+	edges := append([]float64(nil), c.Edges...)
+	sort.Float64s(edges)
+	out := edges[:0]
+	for _, e := range edges {
+		if e < 0 || e >= 1 {
+			continue
+		}
+		if len(out) == 0 || e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 || out[0] != 0 {
+		out = append([]float64{0}, out...)
+	}
+	c.Edges = out
+	return c, nil
+}
+
+// Key returns a string identifying the config, for index caching.
+func (c Config) Key() string { return fmt.Sprintf("%dx%d/%v", c.CellW, c.CellH, c.Edges) }
+
+// Bounds is an inclusive interval [Lo, Hi] bracketing an exact CP.
+type Bounds struct {
+	Lo, Hi int64
+}
+
+// Width returns the bound slack Hi - Lo; 0 means the bound is exact.
+func (b Bounds) Width() int64 { return b.Hi - b.Lo }
+
+// CHI is the Cumulative Histogram Index of one mask: for every grid
+// cell and every edge threshold, the number of pixels in the cell with
+// value >= the threshold. CPBounds combines these suffix-cumulative
+// counts into admissible lower/upper bounds on any CP without touching
+// the mask itself.
+type CHI struct {
+	W, H         int
+	CellW, CellH int
+	GW, GH       int
+	Edges        []float64
+	// Cum holds GW*GH*len(Edges) suffix-cumulative counts:
+	// Cum[(cy*GW+cx)*len(Edges)+j] = #pixels in cell (cx, cy) with
+	// value >= Edges[j].
+	Cum []int32
+}
+
+// Build constructs the CHI of a mask under the given config.
+func Build(m *Mask, cfg Config) (*CHI, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil || m.W <= 0 || m.H <= 0 {
+		return nil, errors.New("chi: cannot index an empty mask")
+	}
+	k := len(cfg.Edges)
+	gw := (m.W + cfg.CellW - 1) / cfg.CellW
+	gh := (m.H + cfg.CellH - 1) / cfg.CellH
+	c := &CHI{
+		W: m.W, H: m.H,
+		CellW: cfg.CellW, CellH: cfg.CellH,
+		GW: gw, GH: gh,
+		Edges: cfg.Edges,
+		Cum:   make([]int32, gw*gh*k),
+	}
+	// First accumulate per-bin counts, then suffix-sum each cell.
+	for y := 0; y < m.H; y++ {
+		cy := y / cfg.CellH
+		rowBase := cy * gw
+		for x := 0; x < m.W; x++ {
+			v := float64(m.Pix[y*m.W+x])
+			base := (rowBase + x/cfg.CellW) * k
+			c.Cum[base+binIndex(cfg.Edges, v)]++
+		}
+	}
+	for cell := 0; cell < gw*gh; cell++ {
+		base := cell * k
+		for j := k - 2; j >= 0; j-- {
+			c.Cum[base+j] += c.Cum[base+j+1]
+		}
+	}
+	return c, nil
+}
+
+// binIndex returns the largest j with edges[j] <= v (v >= 0).
+func binIndex(edges []float64, v float64) int {
+	i := sort.SearchFloat64s(edges, v)
+	if i < len(edges) && edges[i] == v {
+		return i
+	}
+	return i - 1
+}
+
+// geIdx returns the smallest j with edges[j] >= v, or len(edges).
+func geIdx(edges []float64, v float64) int { return sort.SearchFloat64s(edges, v) }
+
+// Config returns the configuration the index was built with.
+func (c *CHI) Config() Config {
+	return Config{CellW: c.CellW, CellH: c.CellH, Edges: c.Edges}
+}
+
+// SizeBytes estimates the in-memory footprint of the index.
+func (c *CHI) SizeBytes() int64 {
+	return int64(len(c.Cum))*4 + int64(len(c.Edges))*8 + 48
+}
+
+// CPBounds returns admissible bounds on ExactCP(mask, roi, vr) using
+// only the index: Lo <= CP <= Hi always holds. Bounds are exact when
+// the ROI is cell-aligned and both range endpoints are edges (or the
+// range is top-closed at 1.0).
+func (c *CHI) CPBounds(roi Rect, vr ValueRange) Bounds {
+	roi = roi.Intersect(Rect{0, 0, c.W, c.H})
+	if roi.Empty() || vr.IsEmpty() {
+		return Bounds{}
+	}
+	lo := vr.Lo
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > 1 {
+		return Bounds{}
+	}
+	k := len(c.Edges)
+	loLE := binIndex(c.Edges, lo)
+	loGE := geIdx(c.Edges, lo)
+	closedTop := vr.Hi >= 1
+	var hiLE, hiGE int
+	if !closedTop {
+		hiLE = binIndex(c.Edges, vr.Hi)
+		hiGE = geIdx(c.Edges, vr.Hi)
+	}
+
+	var total Bounds
+	cx0, cx1 := roi.X0/c.CellW, (roi.X1-1)/c.CellW
+	cy0, cy1 := roi.Y0/c.CellH, (roi.Y1-1)/c.CellH
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			cell := Rect{
+				cx * c.CellW, cy * c.CellH,
+				min((cx+1)*c.CellW, c.W), min((cy+1)*c.CellH, c.H),
+			}
+			base := (cy*c.GW + cx) * k
+			// count(v >= lo): bracketed by the two nearest edges.
+			geLoU := int64(c.Cum[base+loLE])
+			var geLoL int64
+			if loGE < k {
+				geLoL = int64(c.Cum[base+loGE])
+			}
+			// count(v >= hi): exactly 0 for a top-closed range (no
+			// value exceeds 1.0), otherwise bracketed the same way.
+			var geHiU, geHiL int64
+			if !closedTop {
+				geHiU = int64(c.Cum[base+hiLE])
+				if hiGE < k {
+					geHiL = int64(c.Cum[base+hiGE])
+				}
+			}
+			hi := geLoU - geHiL
+			lo := geLoL - geHiU
+			if lo < 0 {
+				lo = 0
+			}
+			cellArea := int64(cell.Area())
+			ovl := int64(cell.Intersect(roi).Area())
+			if ovl < cellArea {
+				// Boundary cell: at most ovl qualifying pixels lie in
+				// the overlap, and at most cellArea-ovl of the cell's
+				// qualifying pixels can lie outside it.
+				if hi > ovl {
+					hi = ovl
+				}
+				lo -= cellArea - ovl
+				if lo < 0 {
+					lo = 0
+				}
+			}
+			total.Lo += lo
+			total.Hi += hi
+		}
+	}
+	return total
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomMask draws a mask with clustered values plus forced exact-0.0
+// and exact-1.0 pixels so the top-bin edge case is always exercised.
+func randomMask(rng *rand.Rand, w, h int) *Mask {
+	m := NewMask(w, h)
+	for i := range m.Pix {
+		switch rng.Intn(10) {
+		case 0:
+			m.Pix[i] = 1.0
+		case 1:
+			m.Pix[i] = 0.0
+		case 2:
+			// Quantized like the on-disk store.
+			m.Pix[i] = float32(rng.Intn(256)) / 255
+		default:
+			m.Pix[i] = rng.Float32()
+		}
+	}
+	return m
+}
+
+func randomConfig(rng *rand.Rand) Config {
+	var edges []float64
+	switch rng.Intn(3) {
+	case 0:
+		edges = DefaultEdges(2 + rng.Intn(15))
+	case 1:
+		// Jagged, unsorted, possibly duplicated edges: Normalize must cope.
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			edges = append(edges, float64(rng.Intn(100))/100)
+		}
+	default:
+		edges = []float64{0, 0.5, 0.9, 0.95, 0.99}
+	}
+	return Config{CellW: 1 + rng.Intn(9), CellH: 1 + rng.Intn(9), Edges: edges}
+}
+
+func randomROI(rng *rand.Rand, w, h int) Rect {
+	switch rng.Intn(8) {
+	case 0:
+		return Rect{0, 0, w, h}
+	case 1: // 1-pixel
+		x, y := rng.Intn(w), rng.Intn(h)
+		return Rect{x, y, x + 1, y + 1}
+	case 2: // out of bounds / degenerate
+		return Rect{w - 2, h - 2, w + 5, h + 5}
+	case 3:
+		return Rect{} // empty
+	}
+	x0, y0 := rng.Intn(w), rng.Intn(h)
+	x1, y1 := x0+1+rng.Intn(w-x0), y0+1+rng.Intn(h-y0)
+	return Rect{x0, y0, x1, y1}
+}
+
+func randomVR(rng *rand.Rand) ValueRange {
+	switch rng.Intn(6) {
+	case 0:
+		return ValueRange{Lo: rng.Float64(), Hi: 1.0} // top-closed
+	case 1:
+		return ValueRange{Lo: 1.0, Hi: 1.0} // only saturated pixels
+	case 2:
+		return ValueRange{Lo: 0, Hi: 1.0} // everything
+	case 3:
+		return ValueRange{Lo: 0.7, Hi: 0.3} // empty
+	case 4:
+		// Aligned to DefaultEdges(10) boundaries.
+		lo := float64(rng.Intn(10)) / 10
+		return ValueRange{Lo: lo, Hi: 1.0}
+	}
+	lo := rng.Float64()
+	return ValueRange{Lo: lo, Hi: lo + rng.Float64()*(1-lo)}
+}
+
+// TestCPBoundsAdmissible is the CHI admissibility property: for random
+// masks, configs, ROIs and value ranges, CPBounds always brackets the
+// exact CP.
+func TestCPBoundsAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 2000; iter++ {
+		w, h := 4+rng.Intn(37), 4+rng.Intn(37)
+		m := randomMask(rng, w, h)
+		chi, err := Build(m, randomConfig(rng))
+		if err != nil {
+			t.Fatalf("iter %d: Build: %v", iter, err)
+		}
+		for probe := 0; probe < 8; probe++ {
+			roi := randomROI(rng, w, h)
+			vr := randomVR(rng)
+			exact := ExactCP(m, roi, vr)
+			b := chi.CPBounds(roi, vr)
+			if exact < b.Lo || exact > b.Hi {
+				t.Fatalf("iter %d: CPBounds %v does not bracket exact %d (mask %dx%d cells %dx%d edges %v roi %v vr %v)",
+					iter, b, exact, w, h, chi.CellW, chi.CellH, chi.Edges, roi, vr)
+			}
+			if b.Lo < 0 || b.Hi > int64(w*h) {
+				t.Fatalf("iter %d: CPBounds %v outside [0, %d]", iter, b, w*h)
+			}
+		}
+	}
+}
+
+// TestCPBoundsExactWhenAligned checks that cell-aligned ROIs with
+// edge-aligned ranges produce zero-slack bounds, including the
+// v == 1.0 top bin.
+func TestCPBoundsExactWhenAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 300; iter++ {
+		cw, ch := 2+rng.Intn(6), 2+rng.Intn(6)
+		gw, gh := 1+rng.Intn(5), 1+rng.Intn(5)
+		w, h := cw*gw, ch*gh
+		m := randomMask(rng, w, h)
+		chi, err := Build(m, Config{CellW: cw, CellH: ch, Edges: DefaultEdges(10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cx0, cy0 := rng.Intn(gw), rng.Intn(gh)
+		roi := Rect{
+			cx0 * cw, cy0 * ch,
+			(cx0 + 1 + rng.Intn(gw-cx0)) * cw, (cy0 + 1 + rng.Intn(gh-cy0)) * ch,
+		}
+		vr := ValueRange{Lo: float64(rng.Intn(10)) / 10, Hi: 1.0}
+		exact := ExactCP(m, roi, vr)
+		b := chi.CPBounds(roi, vr)
+		if b.Lo != exact || b.Hi != exact {
+			t.Fatalf("aligned bounds not exact: %v vs %d (roi %v vr %v)", b, exact, roi, vr)
+		}
+	}
+}
+
+// TestCPTopBinSaturated pins the v == 1.0 edge: a fully saturated mask
+// must report every pixel in any top-closed range and zero in [x, 1).
+func TestCPTopBinSaturated(t *testing.T) {
+	m := NewMask(8, 8)
+	for i := range m.Pix {
+		m.Pix[i] = 1.0
+	}
+	if got := ExactCP(m, m.Bounds(), ValueRange{Lo: 0.9, Hi: 1.0}); got != 64 {
+		t.Fatalf("top-closed CP over saturated mask = %d, want 64", got)
+	}
+	if got := ExactCP(m, m.Bounds(), ValueRange{Lo: 0.9, Hi: 0.999}); got != 0 {
+		t.Fatalf("half-open CP below 1.0 over saturated mask = %d, want 0", got)
+	}
+	chi, err := Build(m, Config{CellW: 4, CellH: 4, Edges: DefaultEdges(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := chi.CPBounds(m.Bounds(), ValueRange{Lo: 0.9, Hi: 1.0}); b.Lo != 64 || b.Hi != 64 {
+		t.Fatalf("CHI bounds for saturated top bin = %v, want exact 64", b)
+	}
+}
+
+// mapLoader serves masks from memory for engine tests.
+type mapLoader struct {
+	masks  map[int64]*Mask
+	loaded int
+}
+
+func (l *mapLoader) LoadMask(id int64) (*Mask, error) {
+	m, ok := l.masks[id]
+	if !ok {
+		return nil, fmt.Errorf("no mask %d", id)
+	}
+	l.loaded++
+	return m, nil
+}
+
+// buildEngineFixture returns n random masks with a full index over
+// them.
+func buildEngineFixture(rng *rand.Rand, n, w, h int) (*mapLoader, *MemoryIndex, []int64) {
+	loader := &mapLoader{masks: map[int64]*Mask{}}
+	idx := NewMemoryIndex(Config{CellW: 4, CellH: 4, Edges: DefaultEdges(10)})
+	ids := make([]int64, 0, n)
+	for i := 1; i <= n; i++ {
+		id := int64(i)
+		m := randomMask(rng, w, h)
+		loader.masks[id] = m
+		chi, _ := Build(m, idx.Config())
+		idx.Add(id, chi)
+		ids = append(ids, id)
+	}
+	return loader, idx, ids
+}
+
+// TestFilterMatchesBruteForce cross-checks the filter–verification
+// pipeline against direct evaluation.
+func TestFilterMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ctx := context.Background()
+	loader, idx, ids := buildEngineFixture(rng, 60, 16, 16)
+	for iter := 0; iter < 50; iter++ {
+		roi := randomROI(rng, 16, 16)
+		vr := randomVR(rng)
+		thresh := int64(rng.Intn(100))
+		terms := []CPTerm{{Region: FixedRegion(roi), Range: vr}}
+		pred := Cmp{T: 0, Op: OpGt, C: thresh}
+
+		env := &Env{Loader: loader, Index: idx}
+		got, st, err := Filter(ctx, env, ids, terms, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int64
+		for _, id := range ids {
+			if ExactCP(loader.masks[id], roi, vr) > thresh {
+				want = append(want, id)
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("iter %d: filter mismatch: got %v want %v (stats %v)", iter, got, want, st)
+		}
+		if st.Loaded+st.AcceptedByBounds+st.RejectedByBounds != st.Targets {
+			t.Fatalf("iter %d: stats don't partition targets: %v", iter, st)
+		}
+	}
+}
+
+// TestTopKMatchesBruteForce cross-checks TopK pruning.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ctx := context.Background()
+	loader, idx, ids := buildEngineFixture(rng, 60, 16, 16)
+	for iter := 0; iter < 40; iter++ {
+		roi := randomROI(rng, 16, 16)
+		vr := randomVR(rng)
+		k := 1 + rng.Intn(12)
+		ord := Order(rng.Intn(2))
+		terms := []CPTerm{{Region: FixedRegion(roi), Range: vr}}
+
+		got, _, err := TopK(ctx, &Env{Loader: loader, Index: idx}, ids, terms, 0, k, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]Scored, 0, len(ids))
+		for _, id := range ids {
+			want = append(want, Scored{ID: id, Score: float64(ExactCP(loader.masks[id], roi, vr))})
+		}
+		SortScored(want, ord)
+		want = want[:k]
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("iter %d: topk mismatch (k=%d %v):\ngot  %v\nwant %v", iter, k, ord, got, want)
+		}
+	}
+}
+
+// TestAggTopKMatchesBruteForce cross-checks group aggregation for
+// every aggregate function.
+func TestAggTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	loader, idx, ids := buildEngineFixture(rng, 60, 16, 16)
+	var groups []Group
+	for i := 0; i < len(ids); i += 4 {
+		groups = append(groups, Group{Key: int64(i / 4), IDs: ids[i:min(i+4, len(ids))]})
+	}
+	for iter := 0; iter < 40; iter++ {
+		roi := randomROI(rng, 16, 16)
+		vr := randomVR(rng)
+		k := 1 + rng.Intn(8)
+		agg := Agg(rng.Intn(4))
+		terms := []CPTerm{{Region: FixedRegion(roi), Range: vr}}
+
+		got, _, err := AggTopK(ctx, &Env{Loader: loader, Index: idx}, groups, terms, 0, agg, k, Desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]Scored, 0, len(groups))
+		for _, g := range groups {
+			vals := make([]float64, len(g.IDs))
+			for i, id := range g.IDs {
+				vals[i] = float64(ExactCP(loader.masks[id], roi, vr))
+			}
+			want = append(want, Scored{ID: g.Key, Score: AggExact(agg, vals)})
+		}
+		SortScored(want, Desc)
+		want = want[:k]
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("iter %d: aggtopk mismatch (%v k=%d):\ngot  %v\nwant %v", iter, agg, k, got, want)
+		}
+	}
+}
+
+// TestIncrementalObserve checks that verified masks enter the index
+// and later identical queries stop loading masks.
+func TestIncrementalObserve(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ctx := context.Background()
+	loader, _, ids := buildEngineFixture(rng, 40, 16, 16)
+	idx := NewMemoryIndex(Config{CellW: 4, CellH: 4, Edges: DefaultEdges(10)})
+	env := &Env{Loader: loader, Index: idx, OnVerify: idx.Observe}
+	terms := []CPTerm{{Region: FixedRegion(Rect{0, 0, 16, 16}), Range: ValueRange{Lo: 0.5, Hi: 1.0}}}
+	pred := Cmp{T: 0, Op: OpGt, C: 100}
+
+	_, st1, err := Filter(ctx, env, ids, terms, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Loaded != len(ids) {
+		t.Fatalf("cold filter should verify everything, loaded %d of %d", st1.Loaded, len(ids))
+	}
+	if idx.Len() != len(ids) {
+		t.Fatalf("Observe indexed %d masks, want %d", idx.Len(), len(ids))
+	}
+	_, st2, err := Filter(ctx, env, ids, terms, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full-mask, edge-aligned term gives exact bounds: nothing to load.
+	if st2.Loaded != 0 {
+		t.Fatalf("warm filter loaded %d masks, want 0 (stats %v)", st2.Loaded, st2)
+	}
+}
+
+// TestIndexRoundTrip checks Encode/ReadMemoryIndex preserve bounds.
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	_, idx, ids := buildEngineFixture(rng, 10, 16, 16)
+	var buf bytes.Buffer
+	if err := idx.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMemoryIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != idx.Len() || back.Config().Key() != idx.Config().Key() {
+		t.Fatalf("round trip lost state: %d/%s vs %d/%s", back.Len(), back.Config().Key(), idx.Len(), idx.Config().Key())
+	}
+	roi := Rect{3, 3, 13, 11}
+	vr := ValueRange{Lo: 0.35, Hi: 1.0}
+	for _, id := range ids {
+		a, _ := idx.ChiFor(id)
+		b, _ := back.ChiFor(id)
+		if a.CPBounds(roi, vr) != b.CPBounds(roi, vr) {
+			t.Fatalf("mask %d: bounds differ after round trip", id)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// MaskLoader materializes masks by id. *store.Store implements it; so
+// do in-memory test loaders.
+type MaskLoader interface {
+	LoadMask(id int64) (*Mask, error)
+}
+
+// Index resolves the CHI of a mask, returning (nil, nil) when the mask
+// is not indexed (the engine then falls back to verification).
+type Index interface {
+	ChiFor(id int64) (*CHI, error)
+}
+
+// Env wires an executor to its storage and index. OnVerify, when set,
+// observes every mask loaded during verification; the incremental
+// indexing mode (§3.6) points it at MemoryIndex.Observe so future
+// queries benefit from work already paid for.
+type Env struct {
+	Loader   MaskLoader
+	Index    Index
+	OnVerify func(id int64, m *Mask)
+}
+
+// verify loads one mask and computes every term exactly.
+func (e *Env) verify(id int64, terms []CPTerm, st *Stats) ([]int64, error) {
+	if e.Loader == nil {
+		return nil, fmt.Errorf("core: no mask loader configured")
+	}
+	m, err := e.Loader.LoadMask(id)
+	if err != nil {
+		return nil, fmt.Errorf("verify mask %d: %w", id, err)
+	}
+	st.Loaded++
+	vals := make([]int64, len(terms))
+	for i, t := range terms {
+		vals[i] = t.Eval(id, m)
+	}
+	if e.OnVerify != nil {
+		e.OnVerify(id, m)
+	}
+	return vals, nil
+}
+
+// chiFor looks up the CHI for id, tolerating a nil index.
+func (e *Env) chiFor(id int64, st *Stats) (*CHI, error) {
+	if e.Index == nil {
+		return nil, nil
+	}
+	chi, err := e.Index.ChiFor(id)
+	if err != nil {
+		return nil, err
+	}
+	if chi != nil {
+		st.IndexHits++
+	}
+	return chi, nil
+}
+
+// CheckCtx polls for cancellation every 256th iteration; executors
+// and baselines share it so their ctx semantics cannot diverge.
+func CheckCtx(ctx context.Context, i int) error {
+	if i&255 == 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// Filter returns the target ids whose term values satisfy pred, in
+// target order. The filter stage decides as many masks as possible
+// from CHI bounds; only masks the bounds cannot decide are loaded and
+// verified exactly.
+func Filter(ctx context.Context, env *Env, targets []int64, terms []CPTerm, pred Pred) ([]int64, Stats, error) {
+	st := Stats{Targets: len(targets)}
+	if pred == nil {
+		pred = And{}
+	}
+	var out []int64
+	bs := make([]Bounds, len(terms))
+	for i, id := range targets {
+		if err := CheckCtx(ctx, i); err != nil {
+			return nil, st, err
+		}
+		decision := Unknown
+		if len(terms) == 0 {
+			decision = True // metadata-only predicate: nothing to bound or verify
+		} else {
+			chi, err := env.chiFor(id, &st)
+			if err != nil {
+				return nil, st, err
+			}
+			if chi != nil {
+				for t, term := range terms {
+					bs[t] = term.BoundsFrom(chi, id)
+				}
+				decision = pred.FromBounds(bs)
+			}
+		}
+		switch decision {
+		case True:
+			st.AcceptedByBounds++
+			out = append(out, id)
+		case False:
+			st.RejectedByBounds++
+		default:
+			vals, err := env.verify(id, terms, &st)
+			if err != nil {
+				return nil, st, err
+			}
+			if pred.Eval(vals) {
+				out = append(out, id)
+			}
+		}
+	}
+	return out, st, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MemoryIndex is a thread-safe in-memory CHI collection. It serves
+// both the eager ("vanilla MaskSearch") mode, where every mask is
+// indexed up front, and the incremental mode (§3.6), where Observe
+// grows the index as queries verify masks.
+type MemoryIndex struct {
+	mu   sync.RWMutex
+	cfg  Config
+	chis map[int64]*CHI
+}
+
+// NewMemoryIndex returns an empty index that builds CHIs with cfg.
+func NewMemoryIndex(cfg Config) *MemoryIndex {
+	if n, err := cfg.Normalize(); err == nil {
+		cfg = n
+	}
+	return &MemoryIndex{cfg: cfg, chis: make(map[int64]*CHI)}
+}
+
+// Config returns the build configuration of the index.
+func (ix *MemoryIndex) Config() Config { return ix.cfg }
+
+// ChiFor returns the CHI for id, or (nil, nil) when not indexed.
+func (ix *MemoryIndex) ChiFor(id int64) (*CHI, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.chis[id], nil
+}
+
+// Add stores a prebuilt CHI for id, replacing any existing entry.
+func (ix *MemoryIndex) Add(id int64, chi *CHI) {
+	ix.mu.Lock()
+	ix.chis[id] = chi
+	ix.mu.Unlock()
+}
+
+// Observe indexes a mask that a query just loaded, if it is not
+// indexed yet. Its signature matches Env.OnVerify so the incremental
+// mode is wired as OnVerify: idx.Observe.
+func (ix *MemoryIndex) Observe(id int64, m *Mask) {
+	ix.mu.RLock()
+	_, ok := ix.chis[id]
+	ix.mu.RUnlock()
+	if ok {
+		return
+	}
+	chi, err := Build(m, ix.cfg)
+	if err != nil {
+		return
+	}
+	ix.Add(id, chi)
+}
+
+// Len returns the number of indexed masks.
+func (ix *MemoryIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.chis)
+}
+
+// SizeBytes estimates the index footprint.
+func (ix *MemoryIndex) SizeBytes() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var n int64
+	for _, c := range ix.chis {
+		n += c.SizeBytes()
+	}
+	return n
+}
+
+// indexFile is the gob persistence envelope.
+type indexFile struct {
+	Cfg  Config
+	Chis map[int64]*CHI
+}
+
+// Encode serializes the index so it can be reloaded with
+// ReadMemoryIndex (the DB facade persists to <db>/chi.gob).
+func (ix *MemoryIndex) Encode(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(indexFile{Cfg: ix.cfg, Chis: ix.chis})
+}
+
+// ReadMemoryIndex reloads an index serialized by WriteTo.
+func ReadMemoryIndex(r io.Reader) (*MemoryIndex, error) {
+	var f indexFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decode index: %w", err)
+	}
+	if f.Chis == nil {
+		f.Chis = make(map[int64]*CHI)
+	}
+	return &MemoryIndex{cfg: f.Cfg, chis: f.Chis}, nil
+}

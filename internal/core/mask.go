@@ -1,0 +1,136 @@
+// Package core implements the MaskSearch data model and query engine:
+// masks, the Cumulative Histogram Index (CHI), and the
+// filter–verification executors for Filter, Top-K and aggregation
+// queries (paper §3).
+//
+// The root masksearch package re-exports the user-facing types (Mask,
+// Rect, ValueRange) as aliases; everything else in this package is an
+// internal engine surface that cmd/ tools reach through the facade.
+package core
+
+import "fmt"
+
+// Rect is a half-open pixel rectangle [X0, X1) x [Y0, Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// W returns the rectangle width in pixels.
+func (r Rect) W() int { return r.X1 - r.X0 }
+
+// H returns the rectangle height in pixels.
+func (r Rect) H() int { return r.Y1 - r.Y0 }
+
+// Area returns the number of pixels covered, 0 for degenerate rects.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.W() * r.H()
+}
+
+// Empty reports whether the rectangle covers no pixels.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// ContainsPoint reports whether pixel (x, y) lies inside the rect.
+func (r Rect) ContainsPoint(x, y int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// Intersect returns the intersection of two rectangles; the result may
+// be Empty.
+func (r Rect) Intersect(o Rect) Rect {
+	out := Rect{max(r.X0, o.X0), max(r.Y0, o.Y0), min(r.X1, o.X1), min(r.Y1, o.Y1)}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+// ValueRange selects mask pixel values in [Lo, Hi). As a special case
+// Hi >= 1 closes the top of the interval so that fully-saturated
+// pixels (v == 1.0) are included: [Lo, 1.0].
+type ValueRange struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether value v falls in the range.
+func (vr ValueRange) Contains(v float64) bool {
+	if v < vr.Lo {
+		return false
+	}
+	if vr.Hi >= 1 {
+		return v <= 1
+	}
+	return v < vr.Hi
+}
+
+// IsEmpty reports whether no value can satisfy the range.
+func (vr ValueRange) IsEmpty() bool {
+	if vr.Hi >= 1 {
+		return vr.Lo > 1
+	}
+	return vr.Lo >= vr.Hi
+}
+
+func (vr ValueRange) String() string {
+	if vr.Hi >= 1 {
+		return fmt.Sprintf("[%g, 1.0]", vr.Lo)
+	}
+	return fmt.Sprintf("[%g, %g)", vr.Lo, vr.Hi)
+}
+
+// Mask is a dense 2-D array of pixel values in [0, 1], row-major.
+type Mask struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewMask allocates a zero mask of the given dimensions.
+func NewMask(w, h int) *Mask {
+	return &Mask{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the value at pixel (x, y). The caller must stay in bounds.
+func (m *Mask) At(x, y int) float32 { return m.Pix[y*m.W+x] }
+
+// Set stores v at pixel (x, y). The caller must stay in bounds.
+func (m *Mask) Set(x, y int, v float32) { m.Pix[y*m.W+x] = v }
+
+// Bounds returns the full-mask rectangle.
+func (m *Mask) Bounds() Rect { return Rect{0, 0, m.W, m.H} }
+
+// ExactCP computes CP(mask, roi, vr): the count of pixels inside roi
+// whose value falls in vr. This is the verification-stage kernel; the
+// filter stage approximates it with CHI.CPBounds.
+func ExactCP(m *Mask, roi Rect, vr ValueRange) int64 {
+	roi = roi.Intersect(m.Bounds())
+	if roi.Empty() || vr.IsEmpty() {
+		return 0
+	}
+	// Comparisons happen in float64 so the kernel agrees exactly with
+	// ValueRange.Contains and with CHI bin assignment.
+	var n int64
+	closedTop := vr.Hi >= 1
+	for y := roi.Y0; y < roi.Y1; y++ {
+		row := m.Pix[y*m.W+roi.X0 : y*m.W+roi.X1]
+		for _, p := range row {
+			v := float64(p)
+			if v < vr.Lo {
+				continue
+			}
+			if closedTop {
+				if v <= 1 {
+					n++
+				}
+			} else if v < vr.Hi {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// unknownHi stands in for the score upper bound of an unindexed mask:
+// it forces the mask into the candidate set so it gets verified.
+const unknownHi = int64(math.MaxInt64 / 4)
+
+// TopK ranks targets by the exact value of terms[score] and returns
+// the best k in the requested order (ties break toward smaller ids).
+// CHI bounds prune targets that provably cannot reach the k-th rank;
+// only surviving candidates with inexact bounds are loaded.
+func TopK(ctx context.Context, env *Env, targets []int64, terms []CPTerm, score Term, k int, ord Order) ([]Scored, Stats, error) {
+	if int(score) < 0 || int(score) >= len(terms) {
+		return nil, Stats{}, fmt.Errorf("core: score term T%d out of range (have %d terms)", int(score), len(terms))
+	}
+	st := Stats{Targets: len(targets)}
+	type cand struct {
+		id    int64
+		b     Bounds
+		known bool
+		score int64
+	}
+	cands := make([]cand, 0, len(targets))
+	for i, id := range targets {
+		if err := CheckCtx(ctx, i); err != nil {
+			return nil, st, err
+		}
+		c := cand{id: id, b: Bounds{0, unknownHi}}
+		chi, err := env.chiFor(id, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		if chi != nil {
+			c.b = terms[score].BoundsFrom(chi, id)
+			if c.b.Lo == c.b.Hi {
+				c.known, c.score = true, c.b.Lo
+			}
+		}
+		cands = append(cands, c)
+	}
+	if k <= 0 || k > len(cands) {
+		k = len(cands)
+	}
+	// Prune: a candidate survives only if its bound overlaps the k-th
+	// best guaranteed score.
+	if k < len(cands) {
+		sel := make([]int64, len(cands))
+		if ord == Desc {
+			for i, c := range cands {
+				sel[i] = c.b.Lo
+			}
+			sort.Slice(sel, func(i, j int) bool { return sel[i] > sel[j] })
+			tau := sel[k-1]
+			kept := cands[:0]
+			for _, c := range cands {
+				if c.b.Hi >= tau {
+					kept = append(kept, c)
+				} else {
+					st.RejectedByBounds++
+				}
+			}
+			cands = kept
+		} else {
+			for i, c := range cands {
+				sel[i] = c.b.Hi
+			}
+			sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
+			tau := sel[k-1]
+			kept := cands[:0]
+			for _, c := range cands {
+				if c.b.Lo <= tau {
+					kept = append(kept, c)
+				} else {
+					st.RejectedByBounds++
+				}
+			}
+			cands = kept
+		}
+	}
+	out := make([]Scored, 0, len(cands))
+	for i := range cands {
+		c := &cands[i]
+		if !c.known {
+			vals, err := env.verify(c.id, terms, &st)
+			if err != nil {
+				return nil, st, err
+			}
+			c.score = vals[score]
+		} else {
+			st.AcceptedByBounds++
+		}
+		out = append(out, Scored{ID: c.id, Score: float64(c.score)})
+	}
+	SortScored(out, ord)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out, st, nil
+}
+
+// AggTopK groups masks, aggregates the exact value of terms[score]
+// within each group with agg, and returns the top-k groups. Group
+// bounds are derived from member CHI bounds; groups that provably
+// cannot rank are pruned before any mask is loaded.
+func AggTopK(ctx context.Context, env *Env, groups []Group, terms []CPTerm, score Term, agg Agg, k int, ord Order) ([]Scored, Stats, error) {
+	if int(score) < 0 || int(score) >= len(terms) {
+		return nil, Stats{}, fmt.Errorf("core: score term T%d out of range (have %d terms)", int(score), len(terms))
+	}
+	var st Stats
+	type gcand struct {
+		key    int64
+		ids    []int64
+		lo, hi float64
+		known  []bool
+		exact  []int64
+	}
+	cands := make([]gcand, 0, len(groups))
+	for gi, g := range groups {
+		if err := CheckCtx(ctx, gi); err != nil {
+			return nil, st, err
+		}
+		if len(g.IDs) == 0 {
+			continue
+		}
+		st.Targets += len(g.IDs)
+		gc := gcand{
+			key:   g.Key,
+			ids:   g.IDs,
+			known: make([]bool, len(g.IDs)),
+			exact: make([]int64, len(g.IDs)),
+		}
+		los := make([]float64, len(g.IDs))
+		his := make([]float64, len(g.IDs))
+		for i, id := range g.IDs {
+			b := Bounds{0, unknownHi}
+			chi, err := env.chiFor(id, &st)
+			if err != nil {
+				return nil, st, err
+			}
+			if chi != nil {
+				b = terms[score].BoundsFrom(chi, id)
+				if b.Lo == b.Hi {
+					gc.known[i], gc.exact[i] = true, b.Lo
+				}
+			} else {
+				his[i] = math.Inf(1)
+			}
+			los[i] = float64(b.Lo)
+			if !math.IsInf(his[i], 1) {
+				his[i] = float64(b.Hi)
+			}
+		}
+		gc.lo, gc.hi = aggBounds(agg, los, his)
+		cands = append(cands, gc)
+	}
+	if k <= 0 || k > len(cands) {
+		k = len(cands)
+	}
+	if k < len(cands) {
+		sel := make([]float64, len(cands))
+		if ord == Desc {
+			for i, c := range cands {
+				sel[i] = c.lo
+			}
+			sort.Slice(sel, func(i, j int) bool { return sel[i] > sel[j] })
+			tau := sel[k-1]
+			kept := cands[:0]
+			for _, c := range cands {
+				if c.hi >= tau {
+					kept = append(kept, c)
+				} else {
+					st.RejectedByBounds += len(c.ids)
+				}
+			}
+			cands = kept
+		} else {
+			for i, c := range cands {
+				sel[i] = c.hi
+			}
+			sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
+			tau := sel[k-1]
+			kept := cands[:0]
+			for _, c := range cands {
+				if c.lo <= tau {
+					kept = append(kept, c)
+				} else {
+					st.RejectedByBounds += len(c.ids)
+				}
+			}
+			cands = kept
+		}
+	}
+	out := make([]Scored, 0, len(cands))
+	for _, c := range cands {
+		vals := make([]float64, len(c.ids))
+		for i, id := range c.ids {
+			if c.known[i] {
+				st.AcceptedByBounds++
+				vals[i] = float64(c.exact[i])
+				continue
+			}
+			ev, err := env.verify(id, terms, &st)
+			if err != nil {
+				return nil, st, err
+			}
+			vals[i] = float64(ev[score])
+		}
+		out = append(out, Scored{ID: c.key, Score: AggExact(agg, vals)})
+	}
+	SortScored(out, ord)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out, st, nil
+}
+
+// aggBounds folds member bounds into group bounds; every aggregate
+// here is monotone in each member, so folding lows and highs
+// separately is admissible.
+func aggBounds(agg Agg, los, his []float64) (float64, float64) {
+	return AggExact(agg, los), AggExact(agg, his)
+}
+
+// AggExact applies an aggregate to exact member values.
+func AggExact(agg Agg, vals []float64) float64 {
+	switch agg {
+	case Sum, Mean:
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		if agg == Mean {
+			s /= float64(len(vals))
+		}
+		return s
+	case Min:
+		out := vals[0]
+		for _, v := range vals[1:] {
+			out = math.Min(out, v)
+		}
+		return out
+	case Max:
+		out := vals[0]
+		for _, v := range vals[1:] {
+			out = math.Max(out, v)
+		}
+		return out
+	}
+	return 0
+}
+
+// SortScored orders scored results by score in the given direction,
+// breaking ties toward smaller ids.
+func SortScored(s []Scored, ord Order) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			if ord == Desc {
+				return s[i].Score > s[j].Score
+			}
+			return s[i].Score < s[j].Score
+		}
+		return s[i].ID < s[j].ID
+	})
+}

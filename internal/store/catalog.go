@@ -1,0 +1,105 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"masksearch/internal/core"
+)
+
+// Mask types recorded in the catalog.
+const (
+	TypeSaliency       = 0 // model-produced saliency map
+	TypeHumanAttention = 1 // human attention map (ModelID 0)
+)
+
+// Entry is one catalog row: the metadata of a stored mask.
+type Entry struct {
+	MaskID   int64     `json:"mask_id"`
+	ImageID  int64     `json:"image_id"`
+	ModelID  int       `json:"model_id"`
+	MaskType int       `json:"mask_type"`
+	Label    int       `json:"label"`
+	Pred     int       `json:"pred"`
+	Modified bool      `json:"modified"`
+	Object   core.Rect `json:"object"`
+}
+
+// Mispredicted reports whether the producing model got the image wrong.
+func (e Entry) Mispredicted() bool { return e.Pred != e.Label }
+
+// Catalog is the in-memory metadata table of a mask database.
+type Catalog struct {
+	entries []Entry
+	byID    map[int64]int
+}
+
+// NewCatalog wraps entries (kept in the given order).
+func NewCatalog(entries []Entry) *Catalog {
+	c := &Catalog{entries: entries, byID: make(map[int64]int, len(entries))}
+	for i, e := range entries {
+		c.byID[e.MaskID] = i
+	}
+	return c
+}
+
+// Len returns the number of masks.
+func (c *Catalog) Len() int { return len(c.entries) }
+
+// Entries returns the backing entry slice; callers must not mutate it.
+func (c *Catalog) Entries() []Entry { return c.entries }
+
+// Entry returns the catalog row of one mask.
+func (c *Catalog) Entry(id int64) (Entry, error) {
+	i, ok := c.byID[id]
+	if !ok {
+		return Entry{}, fmt.Errorf("store: no mask %d in catalog", id)
+	}
+	return c.entries[i], nil
+}
+
+// MaskIDs returns the ids of entries that keep accepts (all entries
+// when keep is nil), in catalog order.
+func (c *Catalog) MaskIDs(keep func(Entry) bool) []int64 {
+	out := make([]int64, 0, len(c.entries))
+	for _, e := range c.entries {
+		if keep == nil || keep(e) {
+			out = append(out, e.MaskID)
+		}
+	}
+	return out
+}
+
+// GroupBy groups kept entries by an arbitrary integer key, returning
+// groups sorted by key.
+func (c *Catalog) GroupBy(key func(Entry) int64, keep func(Entry) bool) []core.Group {
+	m := map[int64][]int64{}
+	for _, e := range c.entries {
+		if keep == nil || keep(e) {
+			k := key(e)
+			m[k] = append(m[k], e.MaskID)
+		}
+	}
+	out := make([]core.Group, 0, len(m))
+	for k, ids := range m {
+		out = append(out, core.Group{Key: k, IDs: ids})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// GroupByImage groups kept entries by image id.
+func (c *Catalog) GroupByImage(keep func(Entry) bool) []core.Group {
+	return c.GroupBy(func(e Entry) int64 { return e.ImageID }, keep)
+}
+
+// ObjectROI returns a RegionFn resolving each mask's object bounding
+// box; unknown ids resolve to an empty rect.
+func (c *Catalog) ObjectROI() core.RegionFn {
+	return func(id int64) core.Rect {
+		if i, ok := c.byID[id]; ok {
+			return c.entries[i].Object
+		}
+		return core.Rect{}
+	}
+}

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"masksearch/internal/core"
+)
+
+const (
+	manifestFile = "manifest.json"
+	catalogFile  = "catalog.json"
+	masksFile    = "masks.bin"
+)
+
+// IndexFileName is where the DB facade persists a CHI index inside a
+// database directory; Generate removes it so a regenerated dataset
+// can never be queried through a stale index.
+const IndexFileName = "chi.gob"
+
+// Spec describes a synthetic mask dataset. The generated saliency maps
+// are Gaussian blobs over background noise: correctly-predicted masks
+// attend to the labeled object box, mispredicted masks attend
+// elsewhere, and "modified" masks carry a small saturated adversarial
+// patch — giving the paper's query families (error analysis, human
+// comparison, adversarial detection) real signal to find.
+type Spec struct {
+	Name   string `json:"name"`
+	Images int    `json:"images"`
+	Models int    `json:"models"`
+	W      int    `json:"w"`
+	H      int    `json:"h"`
+	Seed   int64  `json:"seed"`
+	// HumanAttention adds one human attention map per image
+	// (ModelID 0, TypeHumanAttention).
+	HumanAttention bool `json:"human_attention"`
+	// Classes is the label alphabet size (default 10).
+	Classes int `json:"classes"`
+	// MispredictRate is the fraction of model masks whose prediction
+	// is wrong (default 0.15; set negative for exactly none).
+	MispredictRate float64 `json:"mispredict_rate"`
+	// ModifiedRate is the fraction of model masks carrying an
+	// adversarial patch (default 0.05; set negative for exactly none).
+	ModifiedRate float64 `json:"modified_rate"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Classes <= 0 {
+		s.Classes = 10
+	}
+	if s.MispredictRate == 0 {
+		s.MispredictRate = 0.15
+	} else if s.MispredictRate < 0 {
+		s.MispredictRate = 0
+	}
+	if s.ModifiedRate == 0 {
+		s.ModifiedRate = 0.05
+	} else if s.ModifiedRate < 0 {
+		s.ModifiedRate = 0
+	}
+	if s.Models <= 0 {
+		s.Models = 1
+	}
+	return s
+}
+
+// NumMasks returns the total number of masks the spec generates.
+func (s Spec) NumMasks() int {
+	s = s.withDefaults()
+	n := s.Images * s.Models
+	if s.HumanAttention {
+		n += s.Images
+	}
+	return n
+}
+
+// WildsSimSpec is the scaled stand-in for the paper's WILDS dataset.
+func WildsSimSpec() Spec {
+	return Spec{Name: "wilds-sim", Images: 1500, Models: 2, W: 128, H: 128, Seed: 1, HumanAttention: true}
+}
+
+// ImageNetSimSpec is the scaled stand-in for the paper's ImageNet set.
+func ImageNetSimSpec() Spec {
+	return Spec{Name: "imagenet-sim", Images: 6000, Models: 1, W: 64, H: 64, Seed: 2}
+}
+
+// TinySpec is a toy dataset for demos and tests.
+func TinySpec() Spec {
+	return Spec{Name: "tiny", Images: 64, Models: 2, W: 32, H: 32, Seed: 3, HumanAttention: true}
+}
+
+// Generate writes a complete database directory for spec, replacing
+// any previous contents of the three database files.
+func Generate(dir string, spec Spec) error {
+	spec = spec.withDefaults()
+	if spec.Images <= 0 || spec.W <= 0 || spec.H <= 0 {
+		return fmt.Errorf("store: invalid spec %+v", spec)
+	}
+	if spec.Name == "" {
+		spec.Name = "custom"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// A persisted index describes the previous dataset's pixels;
+	// keeping it would silently corrupt query answers.
+	if err := os.Remove(filepath.Join(dir, IndexFileName)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, masksFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	entries := make([]Entry, 0, spec.NumMasks())
+	buf := make([]byte, spec.W*spec.H)
+	var nextID int64 = 1
+	emit := func(e Entry, render func(rng *rand.Rand, pix []byte)) error {
+		e.MaskID = nextID
+		nextID++
+		// One sub-seed per mask keeps every mask reproducible
+		// independently of generation order.
+		rng := rand.New(rand.NewSource(spec.Seed<<20 ^ e.MaskID))
+		render(rng, buf)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		entries = append(entries, e)
+		return nil
+	}
+
+	for img := 1; img <= spec.Images; img++ {
+		irng := rand.New(rand.NewSource(spec.Seed<<40 ^ int64(img)))
+		label := irng.Intn(spec.Classes)
+		obj := randomObjectBox(irng, spec.W, spec.H)
+		objCenterX := (obj.X0 + obj.X1) / 2
+		objCenterY := (obj.Y0 + obj.Y1) / 2
+
+		for model := 1; model <= spec.Models; model++ {
+			pred := label
+			cx, cy := objCenterX, objCenterY
+			// Mispredicting needs a second class to mispredict to.
+			if spec.Classes > 1 && irng.Float64() < spec.MispredictRate {
+				pred = (label + 1 + irng.Intn(spec.Classes-1)) % spec.Classes
+				// A wrong model attends away from the object.
+				cx = irng.Intn(spec.W)
+				cy = irng.Intn(spec.H)
+			}
+			modified := irng.Float64() < spec.ModifiedRate
+			e := Entry{
+				ImageID: int64(img), ModelID: model, MaskType: TypeSaliency,
+				Label: label, Pred: pred, Modified: modified, Object: obj,
+			}
+			sigma := float64(obj.W()+obj.H()) / 5
+			if err := emit(e, func(rng *rand.Rand, pix []byte) {
+				renderBlob(rng, pix, spec.W, spec.H, cx, cy, sigma, 0.75+0.25*rng.Float64())
+				if modified {
+					renderPatch(rng, pix, spec.W, spec.H)
+				}
+			}); err != nil {
+				return err
+			}
+		}
+		if spec.HumanAttention {
+			e := Entry{
+				ImageID: int64(img), ModelID: 0, MaskType: TypeHumanAttention,
+				Label: label, Pred: label, Object: obj,
+			}
+			sigma := float64(obj.W()+obj.H()) / 7
+			if err := emit(e, func(rng *rand.Rand, pix []byte) {
+				renderBlob(rng, pix, spec.W, spec.H, objCenterX, objCenterY, sigma, 1.0)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(dir, catalogFile), entries); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, manifestFile), Manifest{Spec: spec, NumMasks: len(entries)})
+}
+
+// LoadManifest reads the manifest of an existing database, if any.
+func LoadManifest(dir string) (Manifest, error) {
+	var man Manifest
+	err := readJSON(filepath.Join(dir, manifestFile), &man)
+	return man, err
+}
+
+func randomObjectBox(rng *rand.Rand, w, h int) core.Rect {
+	bw := w/5 + rng.Intn(max(1, w/3))
+	bh := h/5 + rng.Intn(max(1, h/3))
+	x0 := rng.Intn(max(1, w-bw))
+	y0 := rng.Intn(max(1, h-bh))
+	return core.Rect{X0: x0, Y0: y0, X1: x0 + bw, Y1: y0 + bh}
+}
+
+// renderBlob fills pix with background noise plus a Gaussian bump of
+// the given peak at (cx, cy). A peak of 1.0 saturates the center
+// pixels to exactly 255 (v == 1.0), exercising the top histogram bin.
+func renderBlob(rng *rand.Rand, pix []byte, w, h, cx, cy int, sigma, peak float64) {
+	inv := 1 / (2 * sigma * sigma)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy := float64(x-cx), float64(y-cy)
+			v := peak*math.Exp(-(dx*dx+dy*dy)*inv) + 0.12*rng.Float64()
+			if v > 1 {
+				v = 1
+			}
+			pix[y*w+x] = byte(math.Round(v * 255))
+		}
+	}
+}
+
+// renderPatch overlays a small near-saturated adversarial square in a
+// random corner region.
+func renderPatch(rng *rand.Rand, pix []byte, w, h int) {
+	side := max(2, w/8)
+	x0 := rng.Intn(max(1, w-side))
+	y0 := rng.Intn(max(1, h-side))
+	for y := y0; y < y0+side; y++ {
+		for x := x0; x < x0+side; x++ {
+			pix[y*w+x] = byte(242 + rng.Intn(14))
+		}
+	}
+}

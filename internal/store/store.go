@@ -1,0 +1,198 @@
+// Package store provides the on-disk mask database: a generator for
+// synthetic datasets, the catalog of mask metadata, and a Store that
+// reads masks while accounting every byte (for the paper's
+// masks-loaded metrics) and optionally simulating a bandwidth-limited
+// disk.
+//
+// Layout of a database directory:
+//
+//	manifest.json  — the generation Spec plus derived counts
+//	catalog.json   — []Entry, one row per mask
+//	masks.bin      — raw uint8 pixels, mask id i at offset (i-1)*W*H
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"masksearch/internal/core"
+)
+
+// ReadStats counts storage traffic since the last ResetStats.
+type ReadStats struct {
+	// MasksLoaded counts whole-mask reads.
+	MasksLoaded int64
+	// RegionReads counts sub-rectangle reads (the ArraySlice baseline).
+	RegionReads int64
+	// BytesRead counts logical pixel bytes served.
+	BytesRead int64
+}
+
+// Throttle simulates a disk limited to BytesPerSec of read bandwidth;
+// the zero value disables throttling.
+type Throttle struct {
+	BytesPerSec float64
+}
+
+// Manifest describes a generated database.
+type Manifest struct {
+	Spec     Spec `json:"spec"`
+	NumMasks int  `json:"num_masks"`
+}
+
+// Store reads masks from a database directory.
+type Store struct {
+	dir      string
+	f        *os.File
+	w, h     int
+	numMasks int
+
+	statsMu sync.Mutex
+	stats   ReadStats
+	thr     Throttle
+}
+
+// Open opens a database directory created by Generate and returns the
+// store together with its catalog.
+func Open(dir string) (*Store, *Catalog, error) {
+	var man Manifest
+	if err := readJSON(filepath.Join(dir, manifestFile), &man); err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	var entries []Entry
+	if err := readJSON(filepath.Join(dir, catalogFile), &entries); err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	f, err := os.Open(filepath.Join(dir, masksFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	spec := man.Spec.withDefaults()
+	s := &Store{dir: dir, f: f, w: spec.W, h: spec.H, numMasks: man.NumMasks}
+	return s, NewCatalog(entries), nil
+}
+
+// Dir returns the database directory.
+func (s *Store) Dir() string { return s.dir }
+
+// NumMasks returns the number of stored masks.
+func (s *Store) NumMasks() int { return s.numMasks }
+
+// MaskW and MaskH return the common mask dimensions.
+func (s *Store) MaskW() int { return s.w }
+func (s *Store) MaskH() int { return s.h }
+
+// DataBytes returns the total stored pixel bytes.
+func (s *Store) DataBytes() int64 { return int64(s.numMasks) * int64(s.w) * int64(s.h) }
+
+// Close releases the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// SetThrottle installs (or with the zero value removes) a simulated
+// read-bandwidth limit.
+func (s *Store) SetThrottle(t Throttle) {
+	s.statsMu.Lock()
+	s.thr = t
+	s.statsMu.Unlock()
+}
+
+// ResetStats zeroes the read counters.
+func (s *Store) ResetStats() {
+	s.statsMu.Lock()
+	s.stats = ReadStats{}
+	s.statsMu.Unlock()
+}
+
+// Stats returns the read counters accumulated since the last reset.
+func (s *Store) Stats() ReadStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// account records a read and applies the throttle outside the lock.
+func (s *Store) account(masks, regions, bytes int64) {
+	s.statsMu.Lock()
+	s.stats.MasksLoaded += masks
+	s.stats.RegionReads += regions
+	s.stats.BytesRead += bytes
+	thr := s.thr
+	s.statsMu.Unlock()
+	if thr.BytesPerSec > 0 && bytes > 0 {
+		time.Sleep(time.Duration(float64(bytes) / thr.BytesPerSec * float64(time.Second)))
+	}
+}
+
+func (s *Store) checkID(id int64) error {
+	if id < 1 || id > int64(s.numMasks) {
+		return fmt.Errorf("store: mask id %d out of range [1, %d]", id, s.numMasks)
+	}
+	return nil
+}
+
+// LoadMask reads one full mask from disk.
+func (s *Store) LoadMask(id int64) (*core.Mask, error) {
+	if err := s.checkID(id); err != nil {
+		return nil, err
+	}
+	n := s.w * s.h
+	buf := make([]byte, n)
+	if _, err := s.f.ReadAt(buf, (id-1)*int64(n)); err != nil {
+		return nil, fmt.Errorf("store: read mask %d: %w", id, err)
+	}
+	m := core.NewMask(s.w, s.h)
+	for i, b := range buf {
+		m.Pix[i] = float32(b) / 255
+	}
+	s.account(1, 0, int64(n))
+	return m, nil
+}
+
+// LoadRegion reads only the pixels of one mask inside r (clamped to
+// the mask bounds), as a standalone mask of the region's dimensions.
+// This is the access path of the ArraySlice baseline: only the
+// region's logical bytes are charged to the read stats.
+func (s *Store) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
+	if err := s.checkID(id); err != nil {
+		return nil, err
+	}
+	r = r.Intersect(core.Rect{X0: 0, Y0: 0, X1: s.w, Y1: s.h})
+	if r.Empty() {
+		s.account(0, 1, 0)
+		return core.NewMask(0, 0), nil
+	}
+	maskOff := (id - 1) * int64(s.w) * int64(s.h)
+	out := core.NewMask(r.W(), r.H())
+	row := make([]byte, r.W())
+	for y := r.Y0; y < r.Y1; y++ {
+		off := maskOff + int64(y)*int64(s.w) + int64(r.X0)
+		if _, err := s.f.ReadAt(row, off); err != nil {
+			return nil, fmt.Errorf("store: read mask %d region %v: %w", id, r, err)
+		}
+		for x, b := range row {
+			out.Pix[(y-r.Y0)*r.W()+x] = float32(b) / 255
+		}
+	}
+	s.account(0, 1, int64(r.Area()))
+	return out, nil
+}
+
+func readJSON(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,138 @@
+package store
+
+import (
+	"testing"
+
+	"masksearch/internal/core"
+)
+
+func genTiny(t *testing.T) (string, *Store, *Catalog) {
+	t.Helper()
+	dir := t.TempDir()
+	spec := Spec{Name: "t", Images: 12, Models: 2, W: 16, H: 16, Seed: 5, HumanAttention: true}
+	if err := Generate(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	st, cat, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return dir, st, cat
+}
+
+func TestGenerateOpenRoundTrip(t *testing.T) {
+	_, st, cat := genTiny(t)
+	wantMasks := 12*2 + 12
+	if st.NumMasks() != wantMasks || cat.Len() != wantMasks {
+		t.Fatalf("mask counts: store %d, catalog %d, want %d", st.NumMasks(), cat.Len(), wantMasks)
+	}
+	for _, e := range cat.Entries() {
+		if e.Object.Empty() || e.Object.Intersect(core.Rect{X1: 16, Y1: 16}) != e.Object {
+			t.Fatalf("mask %d: object box %v outside mask bounds", e.MaskID, e.Object)
+		}
+		m, err := st.LoadMask(e.MaskID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range m.Pix {
+			if v < 0 || v > 1 {
+				t.Fatalf("mask %d: pixel value %g out of [0,1]", e.MaskID, v)
+			}
+		}
+	}
+	human := cat.MaskIDs(func(e Entry) bool { return e.MaskType == TypeHumanAttention })
+	if len(human) != 12 {
+		t.Fatalf("human attention masks: %d, want 12", len(human))
+	}
+}
+
+func TestLoadRegionMatchesMask(t *testing.T) {
+	_, st, _ := genTiny(t)
+	m, err := st.LoadMask(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Rect{X0: 2, Y0: 5, X1: 11, Y1: 13}
+	sub, err := st.LoadRegion(3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.W != r.W() || sub.H != r.H() {
+		t.Fatalf("region dims %dx%d, want %dx%d", sub.W, sub.H, r.W(), r.H())
+	}
+	for y := 0; y < sub.H; y++ {
+		for x := 0; x < sub.W; x++ {
+			if sub.At(x, y) != m.At(x+r.X0, y+r.Y0) {
+				t.Fatalf("region pixel (%d,%d) differs from mask", x, y)
+			}
+		}
+	}
+	vr := core.ValueRange{Lo: 0.4, Hi: 1.0}
+	if core.ExactCP(sub, sub.Bounds(), vr) != core.ExactCP(m, r, vr) {
+		t.Fatal("CP over region load differs from CP over full mask")
+	}
+}
+
+func TestReadStatsAndThrottle(t *testing.T) {
+	_, st, _ := genTiny(t)
+	st.ResetStats()
+	if _, err := st.LoadMask(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadRegion(2, core.Rect{X0: 0, Y0: 0, X1: 4, Y1: 4}); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.MasksLoaded != 1 || s.RegionReads != 1 || s.BytesRead != 16*16+16 {
+		t.Fatalf("stats %+v, want 1 mask, 1 region, %d bytes", s, 16*16+16)
+	}
+	// A generous throttle must not hang; a zero throttle disables.
+	st.SetThrottle(Throttle{BytesPerSec: 1 << 30})
+	if _, err := st.LoadMask(1); err != nil {
+		t.Fatal(err)
+	}
+	st.SetThrottle(Throttle{})
+	if _, err := st.LoadMask(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMaskBounds(t *testing.T) {
+	_, st, _ := genTiny(t)
+	if _, err := st.LoadMask(0); err == nil {
+		t.Fatal("id 0 should fail")
+	}
+	if _, err := st.LoadMask(int64(st.NumMasks()) + 1); err == nil {
+		t.Fatal("id beyond catalog should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	dir1, st1, _ := genTiny(t)
+	_ = dir1
+	dir2 := t.TempDir()
+	if err := Generate(dir2, Spec{Name: "t", Images: 12, Models: 2, W: 16, H: 16, Seed: 5, HumanAttention: true}); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for id := int64(1); id <= int64(st1.NumMasks()); id++ {
+		a, err := st1.LoadMask(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := st2.LoadMask(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] {
+				t.Fatalf("mask %d differs between identical-seed generations", id)
+			}
+		}
+	}
+}

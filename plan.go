@@ -1,0 +1,375 @@
+package masksearch
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"masksearch/internal/core"
+	"masksearch/internal/store"
+)
+
+// PlanKind identifies which executor answers a query.
+type PlanKind int
+
+const (
+	planFilter PlanKind = iota
+	planTopK
+	planAgg
+)
+
+func (k PlanKind) String() string {
+	switch k {
+	case planFilter:
+		return "filter"
+	case planTopK:
+		return "topk"
+	case planAgg:
+		return "aggregation"
+	}
+	return "?"
+}
+
+// plan is a compiled, executable msquery statement.
+type plan struct {
+	kind PlanKind
+
+	// targetDesc and keep restrict the candidate masks by metadata.
+	targetDesc string
+	keep       func(store.Entry) bool
+
+	// filterTerms and pred implement WHERE CP(...) predicates.
+	filterTerms []core.CPTerm
+	filterDescs []string
+	pred        core.Pred
+
+	// scoreTerms holds the single ranking/aggregation term.
+	scoreTerms []core.CPTerm
+	scoreDesc  string
+
+	// Aggregation state.
+	groupBy  string
+	groupKey func(store.Entry) int64
+	agg      core.Agg
+	aggAlias string
+
+	k       int
+	order   core.Order
+	orderBy string
+}
+
+// region resolves a parsed region spec to a RegionFn over this DB.
+func (db *DB) region(r regionSpec) core.RegionFn {
+	switch r.kind {
+	case regionObject:
+		return db.cat.ObjectROI()
+	case regionFull:
+		return core.FixedRegion(core.Rect{X0: 0, Y0: 0, X1: db.st.MaskW(), Y1: db.st.MaskH()})
+	default:
+		return core.FixedRegion(r.rect)
+	}
+}
+
+func (db *DB) term(cp *cpExpr) core.CPTerm {
+	return core.CPTerm{Name: cp.String(), Region: db.region(cp.region), Range: cp.vr}
+}
+
+// metaCols maps metadata column names to integer accessors.
+var metaCols = map[string]func(store.Entry) int64{
+	"mask_id":   func(e store.Entry) int64 { return e.MaskID },
+	"image_id":  func(e store.Entry) int64 { return e.ImageID },
+	"model_id":  func(e store.Entry) int64 { return int64(e.ModelID) },
+	"mask_type": func(e store.Entry) int64 { return int64(e.MaskType) },
+	"label":     func(e store.Entry) int64 { return int64(e.Label) },
+	"pred":      func(e store.Entry) int64 { return int64(e.Pred) },
+}
+
+var metaBoolCols = map[string]func(store.Entry) bool{
+	"modified":     func(e store.Entry) bool { return e.Modified },
+	"mispredicted": store.Entry.Mispredicted,
+}
+
+// cmpToPred translates "CP(...) op num" into an integer Cmp over term
+// t, exact even for fractional thresholds (CP values are integers).
+func cmpToPred(t core.Term, op string, num float64) core.Pred {
+	switch op {
+	case ">":
+		return core.Cmp{T: t, Op: core.OpGt, C: int64(math.Floor(num))}
+	case ">=":
+		return core.Cmp{T: t, Op: core.OpGe, C: int64(math.Ceil(num))}
+	case "<":
+		return core.Cmp{T: t, Op: core.OpLt, C: int64(math.Ceil(num))}
+	default: // "<="
+		return core.Cmp{T: t, Op: core.OpLe, C: int64(math.Floor(num))}
+	}
+}
+
+// plan compiles a parsed statement against this DB's catalog.
+func (db *DB) plan(stmt *selectStmt) (*plan, error) {
+	p := &plan{k: stmt.limit}
+
+	// WHERE: split metadata conditions from CP predicates.
+	var metaDescs []string
+	var metaConds []func(store.Entry) bool
+	var preds core.And
+	termIdx := map[string]core.Term{}
+	for i := range stmt.conds {
+		c := &stmt.conds[i]
+		if c.cp != nil {
+			key := c.cp.key()
+			t, ok := termIdx[key]
+			if !ok {
+				t = core.Term(len(p.filterTerms))
+				termIdx[key] = t
+				p.filterTerms = append(p.filterTerms, db.term(c.cp))
+				p.filterDescs = append(p.filterDescs, c.cp.String())
+			}
+			preds = append(preds, cmpToPred(t, c.op, c.num))
+			continue
+		}
+		col, op := c.col, c.op
+		if fn, ok := metaBoolCols[col]; ok {
+			if !c.isBool {
+				return nil, errAt(c.pos, "%s compares against true or false", col)
+			}
+			want := c.boolVal
+			if op == "!=" {
+				want = !want
+			}
+			metaConds = append(metaConds, func(e store.Entry) bool { return fn(e) == want })
+			metaDescs = append(metaDescs, fmt.Sprintf("%s %s %v", col, op, c.boolVal))
+			continue
+		}
+		fn, ok := metaCols[col]
+		if !ok {
+			return nil, errAt(c.pos, "unknown column %q in WHERE (metadata columns: %s)",
+				col, strings.Join(colNames(), ", "))
+		}
+		if c.isBool {
+			return nil, errAt(c.pos, "%s compares against an integer", col)
+		}
+		want := int64(c.num)
+		eq := op == "="
+		metaConds = append(metaConds, func(e store.Entry) bool { return (fn(e) == want) == eq })
+		metaDescs = append(metaDescs, fmt.Sprintf("%s %s %d", col, op, want))
+	}
+	if len(metaConds) > 0 {
+		p.keep = func(e store.Entry) bool {
+			for _, f := range metaConds {
+				if !f(e) {
+					return false
+				}
+			}
+			return true
+		}
+		p.targetDesc = strings.Join(metaDescs, " AND ")
+	} else {
+		p.targetDesc = "all"
+	}
+	if len(preds) > 0 {
+		p.pred = preds
+	}
+
+	// Shape: aggregation, topk, or filter.
+	switch {
+	case stmt.groupBy != "":
+		return db.planAgg(stmt, p)
+	case stmt.order.set:
+		return db.planTopK(stmt, p)
+	default:
+		return db.planFilter(stmt, p)
+	}
+}
+
+func colNames() []string {
+	return []string{"mask_id", "image_id", "model_id", "mask_type", "label", "pred", "modified", "mispredicted"}
+}
+
+func (db *DB) planFilter(stmt *selectStmt, p *plan) (*plan, error) {
+	p.kind = planFilter
+	if len(stmt.cols) != 1 || stmt.cols[0].name != "mask_id" {
+		c := stmt.cols[0]
+		return nil, errAt(c.pos, "a filter query selects exactly mask_id")
+	}
+	if p.pred == nil {
+		p.pred = core.And{}
+	}
+	return p, nil
+}
+
+func (db *DB) planTopK(stmt *selectStmt, p *plan) (*plan, error) {
+	p.kind = planTopK
+	p.order = orderOf(stmt.order)
+
+	// The ranking expression: inline CP or an alias of a selected CP.
+	var score *cpExpr
+	if stmt.order.cp != nil {
+		score = stmt.order.cp
+	} else {
+		for _, c := range stmt.cols {
+			if c.cp != nil && c.agg == "" && strings.EqualFold(c.alias, stmt.order.ident) {
+				score = c.cp
+				break
+			}
+		}
+		if score == nil {
+			return nil, errAt(stmt.order.pos,
+				"ORDER BY %s does not name a selected CP(...) alias", stmt.order.ident)
+		}
+		p.orderBy = stmt.order.ident
+	}
+	hasMaskID := false
+	for _, c := range stmt.cols {
+		switch {
+		case c.name == "mask_id":
+			hasMaskID = true
+		case c.cp != nil && c.agg == "":
+			// Selected CP columns are allowed; only the ORDER BY one
+			// is materialized as the score.
+		default:
+			return nil, errAt(c.pos, "a topk query selects mask_id (plus optional CP(...) aliases)")
+		}
+	}
+	if !hasMaskID {
+		c := stmt.cols[0]
+		return nil, errAt(c.pos, "a topk query must select mask_id")
+	}
+	p.scoreTerms = []core.CPTerm{db.term(score)}
+	p.scoreDesc = score.String()
+	return p, nil
+}
+
+func (db *DB) planAgg(stmt *selectStmt, p *plan) (*plan, error) {
+	p.kind = planAgg
+	p.groupBy = stmt.groupBy
+	key, ok := metaCols[stmt.groupBy]
+	if !ok || stmt.groupBy == "mask_id" {
+		return nil, errAt(stmt.groupPos,
+			"cannot GROUP BY %q (group by image_id, model_id, label, pred, or mask_type)", stmt.groupBy)
+	}
+	p.groupKey = key
+
+	var aggCol *selCol
+	for i := range stmt.cols {
+		c := &stmt.cols[i]
+		switch {
+		case c.agg != "":
+			if aggCol != nil {
+				return nil, errAt(c.pos, "an aggregation query supports exactly one aggregate")
+			}
+			aggCol = c
+		case c.name == stmt.groupBy:
+			// The group key may be projected.
+		default:
+			return nil, errAt(c.pos, "an aggregation query selects the group key and one aggregate")
+		}
+	}
+	if aggCol == nil {
+		return nil, errAt(stmt.groupPos, "GROUP BY needs an aggregate (MEAN, SUM, MIN, MAX) in the SELECT list")
+	}
+	switch aggCol.agg {
+	case "MEAN":
+		p.agg = core.Mean
+	case "SUM":
+		p.agg = core.Sum
+	case "MIN":
+		p.agg = core.Min
+	case "MAX":
+		p.agg = core.Max
+	}
+	p.aggAlias = aggCol.alias
+	if p.aggAlias == "" {
+		p.aggAlias = strings.ToLower(aggCol.agg)
+	}
+	p.scoreTerms = []core.CPTerm{db.term(aggCol.cp)}
+	p.scoreDesc = aggCol.cp.String()
+
+	if stmt.order.set {
+		if stmt.order.cp != nil || !strings.EqualFold(stmt.order.ident, p.aggAlias) {
+			return nil, errAt(stmt.order.pos,
+				"an aggregation query orders by its aggregate alias %q", p.aggAlias)
+		}
+		p.order = orderOf(stmt.order)
+		p.orderBy = stmt.order.ident
+	} else {
+		p.order = core.Desc
+		p.orderBy = p.aggAlias
+	}
+	return p, nil
+}
+
+func orderOf(o orderSpec) core.Order {
+	if o.desc {
+		return core.Desc
+	}
+	return core.Asc
+}
+
+// explain renders the compiled plan.
+func (p *plan) explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %s\n", p.kind)
+	fmt.Fprintf(&b, "source: masks\n")
+	fmt.Fprintf(&b, "targets: %s\n", p.targetDesc)
+	switch p.kind {
+	case planFilter:
+		b.WriteString("terms:\n")
+		for i, d := range p.filterDescs {
+			fmt.Fprintf(&b, "  T%d = %s\n", i, d)
+		}
+		if len(p.filterDescs) == 0 {
+			b.WriteString("  (none — metadata only)\n")
+		}
+		pred := "true"
+		if p.pred != nil {
+			pred = p.pred.String()
+		}
+		fmt.Fprintf(&b, "predicate: %s\n", pred)
+		if p.k >= 0 {
+			fmt.Fprintf(&b, "limit: %d\n", p.k)
+		}
+		b.WriteString("output: mask_id\n")
+	case planTopK:
+		p.explainPrefilter(&b)
+		fmt.Fprintf(&b, "terms:\n  T0 = %s\n", p.scoreDesc)
+		fmt.Fprintf(&b, "order by: %s %s\n", p.orderName(), p.order)
+		p.explainLimit(&b)
+		b.WriteString("output: mask_id, score\n")
+	case planAgg:
+		p.explainPrefilter(&b)
+		fmt.Fprintf(&b, "group by: %s\n", p.groupBy)
+		fmt.Fprintf(&b, "terms:\n  T0 = %s\n", p.scoreDesc)
+		fmt.Fprintf(&b, "aggregate: %s = %s(T0)\n", p.aggAlias, p.agg)
+		fmt.Fprintf(&b, "order by: %s %s\n", p.orderBy, p.order)
+		p.explainLimit(&b)
+		fmt.Fprintf(&b, "output: %s, %s\n", p.groupBy, p.aggAlias)
+	}
+	return b.String()
+}
+
+func (p *plan) orderName() string {
+	if p.orderBy != "" {
+		return p.orderBy
+	}
+	return "T0"
+}
+
+func (p *plan) explainPrefilter(b *strings.Builder) {
+	if len(p.filterTerms) == 0 {
+		return
+	}
+	b.WriteString("pre-filter:\n")
+	for i, d := range p.filterDescs {
+		fmt.Fprintf(b, "  T%d = %s\n", i, d)
+	}
+	fmt.Fprintf(b, "  predicate: %s\n", p.pred)
+	b.WriteString("  (ranking runs on the filtered targets)\n")
+}
+
+func (p *plan) explainLimit(b *strings.Builder) {
+	if p.k >= 0 {
+		fmt.Fprintf(b, "limit: %d\n", p.k)
+	} else {
+		b.WriteString("limit: all\n")
+	}
+}

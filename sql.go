@@ -1,0 +1,566 @@
+package masksearch
+
+// The msquery SQL dialect. One statement form is supported:
+//
+//	SELECT <cols> FROM masks
+//	    [WHERE <cond> [AND <cond>]...]
+//	    [GROUP BY <col>]
+//	    [ORDER BY <expr> [ASC|DESC]]
+//	    [LIMIT <n>]
+//
+// where
+//
+//	<cols>  mask_id, image_id, CP(...) [AS alias],
+//	        MEAN|SUM|MIN|MAX(CP(...)) [AS alias]
+//	<cond>  CP(...) {>|>=|<|<=} <number>
+//	        model_id|image_id|mask_type|label|pred {=|!=} <int>
+//	        modified|mispredicted = true|false
+//	<expr>  an alias from the SELECT list, or a CP(...) expression
+//	CP(...) is CP(mask, <region>, <lo>, <hi>) with <region> one of
+//	        object | full | rect(<x0>,<y0>,<x1>,<y1>)
+//
+// Examples (the two doc-comment queries of cmd/msquery):
+//
+//	SELECT mask_id FROM masks
+//	    WHERE CP(mask, object, 0.8, 1.0) > 2000 AND model_id = 1
+//	SELECT image_id, MEAN(CP(mask, object, 0.8, 1.0)) AS a FROM masks
+//	    GROUP BY image_id ORDER BY a DESC LIMIT 25
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"masksearch/internal/core"
+)
+
+// ParseError is a positioned msquery syntax or semantic error.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(p pos, format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type pos struct{ line, col int }
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokOp // > >= < <= = !=
+	tokComma
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  pos
+}
+
+func (t token) describe() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the query into tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for ; n > 0; n-- {
+			if src[i] == '\n' {
+				line, col = line+1, 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			adv(1)
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", pos{line, col}})
+			adv(1)
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", pos{line, col}})
+			adv(1)
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", pos{line, col}})
+			adv(1)
+		case c == '>' || c == '<':
+			p := pos{line, col}
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+			}
+			toks = append(toks, token{tokOp, op, p})
+			adv(len(op))
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", pos{line, col}})
+			adv(1)
+		case c == '!':
+			if i+1 >= len(src) || src[i+1] != '=' {
+				return nil, &ParseError{line, col, "unexpected character '!'"}
+			}
+			toks = append(toks, token{tokOp, "!=", pos{line, col}})
+			adv(2)
+		case c >= '0' && c <= '9' || c == '.':
+			p := pos{line, col}
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			text := src[i:j]
+			if _, err := strconv.ParseFloat(text, 64); err != nil {
+				return nil, &ParseError{p.line, p.col, fmt.Sprintf("malformed number %q", text)}
+			}
+			toks = append(toks, token{tokNumber, text, p})
+			adv(j - i)
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			p := pos{line, col}
+			j := i
+			for j < len(src) && (src[j] == '_' || src[j] >= 'a' && src[j] <= 'z' ||
+				src[j] >= 'A' && src[j] <= 'Z' || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], p})
+			adv(j - i)
+		default:
+			return nil, &ParseError{line, col, fmt.Sprintf("unexpected character %q", string(c))}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", pos{line, col}})
+	return toks, nil
+}
+
+// --- AST ---
+
+type regionKind int
+
+const (
+	regionObject regionKind = iota
+	regionFull
+	regionRect
+)
+
+type regionSpec struct {
+	kind regionKind
+	rect core.Rect
+}
+
+func (r regionSpec) String() string {
+	switch r.kind {
+	case regionObject:
+		return "object"
+	case regionFull:
+		return "full"
+	default:
+		return fmt.Sprintf("rect(%d,%d,%d,%d)", r.rect.X0, r.rect.Y0, r.rect.X1, r.rect.Y1)
+	}
+}
+
+type cpExpr struct {
+	region regionSpec
+	vr     core.ValueRange
+	pos    pos
+}
+
+func (c *cpExpr) String() string {
+	return fmt.Sprintf("CP(mask, %s, %v)", c.region, c.vr)
+}
+
+// key identifies structurally equal CP expressions for term dedup.
+func (c *cpExpr) key() string { return c.String() }
+
+type selCol struct {
+	pos   pos
+	name  string // plain catalog column, or "" for expressions
+	agg   string // "" | MEAN | SUM | MIN | MAX
+	cp    *cpExpr
+	alias string
+}
+
+type cond struct {
+	pos     pos
+	cp      *cpExpr // nil for metadata conditions
+	col     string
+	op      string
+	num     float64
+	boolVal bool
+	isBool  bool
+}
+
+type orderSpec struct {
+	set   bool
+	pos   pos
+	ident string
+	cp    *cpExpr
+	desc  bool
+}
+
+type selectStmt struct {
+	cols     []selCol
+	conds    []cond
+	groupBy  string
+	groupPos pos
+	order    orderSpec
+	limit    int
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func parseQuery(src string) (*selectStmt, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, &ParseError{1, 1, "empty query"}
+	}
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, errAt(t.pos, "unexpected trailing input starting at %s", t.describe())
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// keywordIs reports whether t is the given (case-insensitive) keyword.
+func keywordIs(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) (token, error) {
+	t := p.next()
+	if !keywordIs(t, kw) {
+		return t, errAt(t.pos, "expected %s, got %s", kw, t.describe())
+	}
+	return t, nil
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, errAt(t.pos, "expected %s, got %s", what, t.describe())
+	}
+	return t, nil
+}
+
+func (p *parser) number(what string) (float64, token, error) {
+	t, err := p.expect(tokNumber, what)
+	if err != nil {
+		return 0, t, err
+	}
+	v, _ := strconv.ParseFloat(t.text, 64)
+	return v, t, nil
+}
+
+func (p *parser) parseSelect() (*selectStmt, error) {
+	if _, err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &selectStmt{limit: -1} // -1: no LIMIT clause
+	for {
+		col, err := p.parseSelCol()
+		if err != nil {
+			return nil, err
+		}
+		stmt.cols = append(stmt.cols, col)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if !keywordIs(t, "masks") {
+		return nil, errAt(t.pos, "unknown table %s (only \"masks\" exists)", t.describe())
+	}
+	if keywordIs(p.peek(), "WHERE") {
+		p.next()
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			stmt.conds = append(stmt.conds, c)
+			if !keywordIs(p.peek(), "AND") {
+				break
+			}
+			p.next()
+		}
+	}
+	if keywordIs(p.peek(), "GROUP") {
+		p.next()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokIdent, "a grouping column after GROUP BY")
+		if err != nil {
+			return nil, err
+		}
+		stmt.groupBy = strings.ToLower(t.text)
+		stmt.groupPos = t.pos
+	}
+	if keywordIs(p.peek(), "ORDER") {
+		p.next()
+		if _, err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		stmt.order.set = true
+		t := p.peek()
+		stmt.order.pos = t.pos
+		if keywordIs(t, "CP") {
+			cp, err := p.parseCP()
+			if err != nil {
+				return nil, err
+			}
+			stmt.order.cp = cp
+		} else {
+			id, err := p.expect(tokIdent, "an ORDER BY expression (alias or CP(...))")
+			if err != nil {
+				return nil, err
+			}
+			stmt.order.ident = id.text
+		}
+		if keywordIs(p.peek(), "ASC") {
+			p.next()
+		} else if keywordIs(p.peek(), "DESC") {
+			p.next()
+			stmt.order.desc = true
+		}
+	}
+	if keywordIs(p.peek(), "LIMIT") {
+		p.next()
+		v, t, err := p.number("a row count after LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		if v != float64(int(v)) || v < 0 {
+			return nil, errAt(t.pos, "LIMIT must be a non-negative integer, got %q", t.text)
+		}
+		stmt.limit = int(v)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelCol() (selCol, error) {
+	t := p.peek()
+	col := selCol{pos: t.pos}
+	switch {
+	case keywordIs(t, "CP"):
+		cp, err := p.parseCP()
+		if err != nil {
+			return col, err
+		}
+		col.cp = cp
+	case keywordIs(t, "MEAN") || keywordIs(t, "SUM") || keywordIs(t, "MIN") || keywordIs(t, "MAX"):
+		p.next()
+		col.agg = strings.ToUpper(t.text)
+		if _, err := p.expect(tokLParen, fmt.Sprintf("( after %s", col.agg)); err != nil {
+			return col, err
+		}
+		cp, err := p.parseCP()
+		if err != nil {
+			return col, err
+		}
+		col.cp = cp
+		if _, err := p.expect(tokRParen, fmt.Sprintf(") closing %s(...)", col.agg)); err != nil {
+			return col, err
+		}
+	case t.kind == tokIdent:
+		p.next()
+		col.name = strings.ToLower(t.text)
+	default:
+		return col, errAt(t.pos, "expected a column or expression in SELECT, got %s", t.describe())
+	}
+	if keywordIs(p.peek(), "AS") {
+		p.next()
+		a, err := p.expect(tokIdent, "an alias after AS")
+		if err != nil {
+			return col, err
+		}
+		col.alias = a.text
+	}
+	return col, nil
+}
+
+// parseCP parses CP(mask, <region>, <lo>, <hi>).
+func (p *parser) parseCP() (*cpExpr, error) {
+	kw := p.next()
+	if !keywordIs(kw, "CP") {
+		return nil, errAt(kw.pos, "expected CP(...), got %s", kw.describe())
+	}
+	cp := &cpExpr{pos: kw.pos}
+	if _, err := p.expect(tokLParen, "( after CP"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if !keywordIs(t, "mask") {
+		return nil, errAt(t.pos, "CP's first argument must be mask, got %s", t.describe())
+	}
+	if _, err := p.expect(tokComma, "a comma in CP(mask, region, lo, hi)"); err != nil {
+		return nil, err
+	}
+	region, err := p.parseRegion()
+	if err != nil {
+		return nil, err
+	}
+	cp.region = region
+	if _, err := p.expect(tokComma, "a comma in CP(mask, region, lo, hi)"); err != nil {
+		return nil, err
+	}
+	lo, loTok, err := p.number("CP's lower value bound")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, "a comma in CP(mask, region, lo, hi)"); err != nil {
+		return nil, err
+	}
+	hi, hiTok, err := p.number("CP's upper value bound")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, ") closing CP(...)"); err != nil {
+		return nil, err
+	}
+	if lo < 0 || lo > 1 {
+		return nil, errAt(loTok.pos, "CP value bounds must lie in [0, 1], got %g", lo)
+	}
+	if hi < 0 || hi > 1 {
+		return nil, errAt(hiTok.pos, "CP value bounds must lie in [0, 1], got %g", hi)
+	}
+	if hi < lo {
+		return nil, errAt(hiTok.pos, "CP value range is empty: lo %g > hi %g", lo, hi)
+	}
+	cp.vr = core.ValueRange{Lo: lo, Hi: hi}
+	return cp, nil
+}
+
+func (p *parser) parseRegion() (regionSpec, error) {
+	t := p.next()
+	switch {
+	case keywordIs(t, "object"):
+		return regionSpec{kind: regionObject}, nil
+	case keywordIs(t, "full"):
+		return regionSpec{kind: regionFull}, nil
+	case keywordIs(t, "rect"):
+		var r regionSpec
+		r.kind = regionRect
+		if _, err := p.expect(tokLParen, "( after rect"); err != nil {
+			return r, err
+		}
+		coords := [4]*int{&r.rect.X0, &r.rect.Y0, &r.rect.X1, &r.rect.Y1}
+		for i, c := range coords {
+			if i > 0 {
+				if _, err := p.expect(tokComma, "a comma in rect(x0,y0,x1,y1)"); err != nil {
+					return r, err
+				}
+			}
+			v, tok, err := p.number("a rect coordinate")
+			if err != nil {
+				return r, err
+			}
+			if v != float64(int(v)) || v < 0 {
+				return r, errAt(tok.pos, "rect coordinates must be non-negative integers, got %q", tok.text)
+			}
+			*c = int(v)
+		}
+		if _, err := p.expect(tokRParen, ") closing rect(...)"); err != nil {
+			return r, err
+		}
+		return r, nil
+	}
+	return regionSpec{}, errAt(t.pos, "unknown region %s (want object, full, or rect(x0,y0,x1,y1))", t.describe())
+}
+
+func (p *parser) parseCond() (cond, error) {
+	t := p.peek()
+	c := cond{pos: t.pos}
+	if keywordIs(t, "CP") {
+		cp, err := p.parseCP()
+		if err != nil {
+			return c, err
+		}
+		c.cp = cp
+		op, err := p.expect(tokOp, "a comparison after CP(...)")
+		if err != nil {
+			return c, err
+		}
+		switch op.text {
+		case ">", ">=", "<", "<=":
+			c.op = op.text
+		default:
+			return c, errAt(op.pos, "CP predicates support > >= < <=, got %q", op.text)
+		}
+		v, _, err := p.number("a numeric threshold")
+		if err != nil {
+			return c, err
+		}
+		c.num = v
+		return c, nil
+	}
+	id, err := p.expect(tokIdent, "a condition (CP(...) or a metadata column)")
+	if err != nil {
+		return c, err
+	}
+	c.col = strings.ToLower(id.text)
+	op, err := p.expect(tokOp, fmt.Sprintf("a comparison after %s", id.text))
+	if err != nil {
+		return c, err
+	}
+	if op.text != "=" && op.text != "!=" {
+		return c, errAt(op.pos, "metadata conditions support = and !=, got %q", op.text)
+	}
+	c.op = op.text
+	vt := p.next()
+	switch {
+	case vt.kind == tokNumber:
+		v, _ := strconv.ParseFloat(vt.text, 64)
+		if v != float64(int64(v)) {
+			return c, errAt(vt.pos, "metadata values must be integers, got %q", vt.text)
+		}
+		c.num = v
+	case keywordIs(vt, "true") || keywordIs(vt, "false"):
+		c.isBool = true
+		c.boolVal = keywordIs(vt, "true")
+	default:
+		return c, errAt(vt.pos, "expected a value after %s %s, got %s", c.col, c.op, vt.describe())
+	}
+	return c, nil
+}
