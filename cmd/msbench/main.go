@@ -8,21 +8,33 @@
 //	msbench -data data -exp all
 //	msbench -data data -exp fig7 -dataset wilds-sim
 //	msbench -data data -exp fig11 -queries 200
+//	msbench -data data -exp engine -workers 8 -json
 //
 // Experiments: fig7 (incl. Table 2), fig8, fig9, fig10, fig11 (incl.
-// the ratio subfigures), size, ablation, sweep, all.
+// the ratio subfigures), size, ablation, sweep, engine (sequential vs
+// worker-pool comparison), all.
+//
+// -workers sizes the engine worker pool for the figure experiments
+// (default 1, the sequential engine, so their masks-loaded/FML tables
+// stay reproducible run to run; 0 = GOMAXPROCS). The engine
+// experiment always compares the sequential engine against the pool.
+// -json additionally writes every measurement to BENCH_engine.json so
+// the performance trajectory can be tracked across commits.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"slices"
 	"strings"
+	"time"
 
 	"masksearch/internal/bench"
+	"masksearch/internal/core"
 	"masksearch/internal/store"
 )
 
@@ -38,10 +50,12 @@ func main() {
 		wqs     = flag.Int("workload-queries", 0, "override workload length for fig11")
 		quick   = flag.Bool("quick", false, "use the reduced quick configuration")
 		mibps   = flag.Float64("throttle-mibps", 0, "simulate a disk limited to this read bandwidth (MiB/s); the paper's EBS volume provided 125")
+		workers = flag.Int("workers", 1, "engine worker-pool size for the figure experiments (1 = sequential for run-to-run reproducible stats, 0 = GOMAXPROCS); the engine experiment always compares sequential against this pool (0/1 = GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false, "also write machine-readable results to BENCH_engine.json")
 	)
 	flag.Parse()
 
-	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "all"}
+	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "all"}
 	if !slices.Contains(validExps, *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(validExps, ", "))
 		os.Exit(2)
@@ -71,6 +85,7 @@ func main() {
 			// where CHI construction also reads from EBS.
 			d.Store.SetThrottle(store.Throttle{BytesPerSec: *mibps * (1 << 20)})
 		}
+		d.Exec = core.ExecFor(*workers)
 		envs = append(envs, d)
 	}
 	switch *dataset {
@@ -86,12 +101,28 @@ func main() {
 	}
 
 	ctx := context.Background()
+	var rows []bench.EngineRow
 	run := func(name string, f func(d *bench.DatasetEnv) (fmt.Stringer, error)) {
 		for _, d := range envs {
 			log.Printf("running %s on %s", name, d.Params.Name)
+			// Lifetime counters survive the ResetStats calls reports
+			// issue internally, so the delta is a true experiment total.
+			before := d.Store.LifetimeStats()
+			start := time.Now()
 			rep, err := f(d)
 			if err != nil {
 				log.Fatalf("%s on %s: %v", name, d.Params.Name, err)
+			}
+			el := time.Since(start)
+			after := d.Store.LifetimeStats()
+			if er, ok := rep.(*bench.EngineReport); ok {
+				rows = append(rows, er.Rows...)
+			} else {
+				rows = append(rows, bench.EngineRow{
+					Exp: name, Dataset: d.Params.Name, Mode: "report", Queries: 1,
+					NsPerOp:     el.Nanoseconds(),
+					MasksLoaded: after.MasksLoaded - before.MasksLoaded,
+				})
 			}
 			fmt.Println(rep.String())
 		}
@@ -138,5 +169,25 @@ func main() {
 		run("sweep", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
 			return bench.Sweep(d, max(1, cfg.NQueries/10), cfg.Seed)
 		})
+	}
+	if want("engine") {
+		run("engine", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Engine(ctx, d, *workers, cfg.NQueries, cfg.Seed)
+		})
+	}
+	if *jsonOut {
+		out := struct {
+			GeneratedAt string            `json:"generated_at"`
+			Workers     int               `json:"workers"`
+			Results     []bench.EngineRow `json:"results"`
+		}{time.Now().UTC().Format(time.RFC3339), *workers, rows}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_engine.json", append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote BENCH_engine.json (%d result rows)", len(rows))
 	}
 }

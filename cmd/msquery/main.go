@@ -29,6 +29,7 @@ func main() {
 		noSave  = flag.Bool("no-persist", false, "do not persist incrementally built indexes on exit")
 		maxRows = flag.Int("max-rows", 50, "print at most this many result rows")
 		explain = flag.Bool("explain", false, "print the compiled plan instead of executing")
+		workers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if *dbDir == "" || flag.NArg() != 1 {
@@ -41,6 +42,7 @@ func main() {
 	db, err := masksearch.OpenWith(*dbDir, masksearch.Options{
 		EagerIndex:          *eager,
 		PersistIndexOnClose: !*noSave,
+		Workers:             *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -26,7 +26,17 @@ type Options struct {
 	// edges). A persisted index with a different granularity is
 	// discarded.
 	IndexConfig core.Config
+	// Workers sizes the engine's worker pool for query execution and
+	// eager index construction: 0 (the default) uses
+	// runtime.GOMAXPROCS(0), 1 forces the sequential engine, and any
+	// n > 1 uses n workers. Query results are identical under every
+	// setting; only throughput (and the load counts of the Top-K
+	// verification stage) vary.
+	Workers int
 }
+
+// exec translates the Workers option into a core execution strategy.
+func (o Options) exec() core.Exec { return core.ExecFor(o.Workers) }
 
 // IndexStats summarizes the state of a DB's CHI index.
 type IndexStats struct {
@@ -78,16 +88,14 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 	db := &DB{dir: dir, opts: opts, st: st, cat: cat}
 	db.idx = db.loadPersistedIndex(cfg)
 	if opts.EagerIndex {
-		for _, id := range cat.MaskIDs(nil) {
-			if chi, _ := db.idx.ChiFor(id); chi != nil {
-				continue
-			}
-			m, err := st.LoadMask(id)
-			if err != nil {
-				st.Close()
-				return nil, err
-			}
-			db.idx.Observe(id, m)
+		// Eager ("vanilla MaskSearch") construction fans mask loads
+		// and CHI builds across the worker pool.
+		built, err := core.IndexAll(context.Background(), st, db.idx, cat.MaskIDs(nil), opts.exec())
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if built > 0 {
 			db.dirty.Store(true)
 		}
 	}
@@ -139,10 +147,11 @@ func (db *DB) persistIndex() error {
 
 // env wires the query engine to this DB's store and index, growing
 // the index from every verified mask.
-func (db *DB) env() *core.Env {
+func (db *DB) env(ex core.Exec) *core.Env {
 	return &core.Env{
 		Loader: db.st,
 		Index:  db.idx,
+		Exec:   ex,
 		OnVerify: func(id int64, m *Mask) {
 			// Only dirty the index when this mask is actually new to
 			// it, so Close never rewrites an unchanged chi.gob.
@@ -222,7 +231,7 @@ func (db *DB) Query(ctx context.Context, sql string) (*Result, error) {
 
 // exec runs a compiled plan.
 func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
-	env := db.env()
+	env := db.env(p.ex)
 	res := &Result{Kind: p.kind}
 	targets := db.cat.MaskIDs(p.keep)
 	nConsidered := len(targets)

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -109,6 +110,10 @@ type DatasetEnv struct {
 	Store *store.Store
 	// Cat is the dataset's catalog.
 	Cat *store.Catalog
+	// Exec is the execution strategy every experiment on this dataset
+	// runs under (zero value: the sequential engine). cmd/msbench
+	// sets it from -workers.
+	Exec core.Exec
 
 	mu      sync.Mutex
 	indexes map[string]*core.MemoryIndex
@@ -133,7 +138,8 @@ func (d *DatasetEnv) LargeConfig() core.Config {
 }
 
 // Index eagerly builds (once per config, then cached) the full CHI
-// index of the dataset.
+// index of the dataset, fanning the build across d.Exec's worker
+// pool.
 func (d *DatasetEnv) Index(cfg core.Config) (core.Index, error) {
 	ncfg, err := cfg.Normalize()
 	if err != nil {
@@ -145,16 +151,8 @@ func (d *DatasetEnv) Index(cfg core.Config) (core.Index, error) {
 		return ix, nil
 	}
 	ix := core.NewMemoryIndex(ncfg)
-	for _, id := range d.Cat.MaskIDs(nil) {
-		m, err := d.Store.LoadMask(id)
-		if err != nil {
-			return nil, err
-		}
-		chi, err := core.Build(m, ncfg)
-		if err != nil {
-			return nil, err
-		}
-		ix.Add(id, chi)
+	if _, err := core.IndexAll(context.Background(), d.Store, ix, d.Cat.MaskIDs(nil), d.Exec); err != nil {
+		return nil, err
 	}
 	d.indexes[ncfg.Key()] = ix
 	return ix, nil
@@ -162,7 +160,7 @@ func (d *DatasetEnv) Index(cfg core.Config) (core.Index, error) {
 
 // Env wires an executor environment around a (possibly nil) index.
 func (d *DatasetEnv) Env(ix core.Index) *core.Env {
-	return &core.Env{Loader: d.Store, Index: ix}
+	return &core.Env{Loader: d.Store, Index: ix, Exec: d.Exec}
 }
 
 // Close releases the dataset's store.

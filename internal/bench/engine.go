@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"masksearch/internal/core"
+	"masksearch/internal/workload"
+)
+
+// EngineRow is one machine-readable measurement: a query family run
+// under one execution mode.
+type EngineRow struct {
+	Exp         string  `json:"exp"`
+	Dataset     string  `json:"dataset"`
+	Mode        string  `json:"mode"`
+	Queries     int     `json:"queries"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MasksLoaded int64   `json:"masks_loaded"`
+	MeanFML     float64 `json:"mean_fml"`
+}
+
+// EngineReport compares the sequential engine against the worker-pool
+// engine on the three §4.3 query families. Its Rows feed
+// BENCH_engine.json; String renders the usual text table.
+type EngineReport struct {
+	*Report
+	Rows []EngineRow
+}
+
+// Engine runs n random queries per family under the sequential engine
+// and under a pool of the given size (0 or 1: GOMAXPROCS, since
+// comparing sequential against itself would be pointless), verifying
+// on the fly that both engines return identical results.
+func Engine(ctx context.Context, d *DatasetEnv, workers, n int, seed int64) (*EngineReport, error) {
+	idx, err := d.Index(d.SmallConfig())
+	if err != nil {
+		return nil, err
+	}
+	ids := d.Cat.MaskIDs(nil)
+	groups := d.Cat.GroupByImage(nil)
+	w, h := d.Params.W, d.Params.H
+	if workers == 1 {
+		workers = 0
+	}
+	par := core.ExecFor(workers)
+	modes := []struct {
+		name string
+		ex   core.Exec
+	}{{"sequential", core.Exec{}}, {fmt.Sprintf("parallel-%d", par.EffectiveWorkers()), par}}
+
+	rep := &EngineReport{Report: NewReport(fmt.Sprintf(
+		"Engine — sequential vs worker pool on %s (%d queries per family)", d.Params.Name, n))}
+	rep.Printf("%-12s %-14s %14s %12s %10s\n", "family", "mode", "ns/op", "masks", "mean fml")
+
+	type family struct {
+		name string
+		run  func(env *core.Env, rng *rand.Rand) ([]core.Scored, []int64, core.Stats, error)
+	}
+	families := []family{
+		{"Filter", func(env *core.Env, rng *rand.Rand) ([]core.Scored, []int64, core.Stats, error) {
+			q := workload.RandomFilter(rng, d.Cat, w, h, ids)
+			out, st, err := core.Filter(ctx, env, q.Targets, q.Terms(d.Cat), q.Pred())
+			return nil, out, st, err
+		}},
+		{"TopK", func(env *core.Env, rng *rand.Rand) ([]core.Scored, []int64, core.Stats, error) {
+			q := workload.RandomTopK(rng, w, h, ids)
+			out, st, err := core.TopK(ctx, env, q.Targets, q.Terms(), 0, q.K, q.Order)
+			return out, nil, st, err
+		}},
+		{"Aggregation", func(env *core.Env, rng *rand.Rand) ([]core.Scored, []int64, core.Stats, error) {
+			q := workload.RandomAgg(rng, w, h, groups)
+			out, st, err := core.AggTopK(ctx, env, q.Groups, q.Terms(), 0, core.Mean, q.K, q.Order)
+			return out, nil, st, err
+		}},
+	}
+
+	for _, f := range families {
+		var refRanked [][]core.Scored
+		var refIDs [][]int64
+		for _, mode := range modes {
+			env := &core.Env{Loader: d.Store, Index: idx, Exec: mode.ex}
+			rng := rand.New(rand.NewSource(seed))
+			var fml float64
+			d.Store.ResetStats()
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				ranked, idsOut, st, err := f.run(env, rng)
+				if err != nil {
+					return nil, fmt.Errorf("bench: engine %s/%s: %w", f.name, mode.name, err)
+				}
+				fml += st.FML()
+				if mode.name == "sequential" {
+					refRanked = append(refRanked, ranked)
+					refIDs = append(refIDs, idsOut)
+				} else if !equalIDs(idsOut, refIDs[i]) || !equalScored(ranked, refRanked[i]) {
+					return nil, fmt.Errorf("bench: engine %s query %d: %s disagrees with sequential", f.name, i, mode.name)
+				}
+			}
+			el := time.Since(start)
+			rs := d.Store.Stats()
+			row := EngineRow{
+				Exp:     "engine/" + f.name,
+				Dataset: d.Params.Name,
+				Mode:    mode.name, Queries: n,
+				NsPerOp:     el.Nanoseconds() / int64(max(1, n)),
+				MasksLoaded: rs.MasksLoaded,
+				MeanFML:     fml / float64(max(1, n)),
+			}
+			rep.Rows = append(rep.Rows, row)
+			rep.Printf("%-12s %-14s %14d %12d %10.3f\n",
+				f.name, mode.name, row.NsPerOp, row.MasksLoaded, row.MeanFML)
+		}
+	}
+	return rep, nil
+}
+
+func equalScored(a, b []core.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -241,7 +241,7 @@ func Fig11(ctx context.Context, d *DatasetEnv, n int, seed int64) (*Report, erro
 	// MS-II: cold start, index built incrementally from verified masks.
 	inc := core.NewMemoryIndex(d.SmallConfig())
 	start = time.Now()
-	masks, err = runAll(&core.Env{Loader: d.Store, Index: inc, OnVerify: inc.Observe})
+	masks, err = runAll(&core.Env{Loader: d.Store, Index: inc, OnVerify: inc.Observe, Exec: d.Exec})
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +326,7 @@ func Ablation(d *DatasetEnv, n int, seed int64) (*Report, error) {
 		return nil, err
 	}
 	inc := core.NewMemoryIndex(d.SmallConfig())
-	if err := run("incremental", &core.Env{Loader: d.Store, Index: inc, OnVerify: inc.Observe}); err != nil {
+	if err := run("incremental", &core.Env{Loader: d.Store, Index: inc, OnVerify: inc.Observe, Exec: d.Exec}); err != nil {
 		return nil, err
 	}
 	if err := run("no-index", d.Env(nil)); err != nil {

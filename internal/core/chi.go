@@ -102,13 +102,36 @@ func Build(m *Mask, cfg Config) (*CHI, error) {
 		Cum:   make([]int32, gw*gh*k),
 	}
 	// First accumulate per-bin counts, then suffix-sum each cell.
-	for y := 0; y < m.H; y++ {
-		cy := y / cfg.CellH
-		rowBase := cy * gw
-		for x := 0; x < m.W; x++ {
-			v := float64(m.Pix[y*m.W+x])
-			base := (rowBase + x/cfg.CellW) * k
-			c.Cum[base+binIndex(cfg.Edges, v)]++
+	if m.Bytes != nil {
+		// Byte-domain fast path: pixels are quantized to 256 levels, so
+		// one 256-entry value→bin LUT replaces the per-pixel binary
+		// search, and walking each row cell-run by cell-run hoists the
+		// per-pixel cell division out of the inner loop. byteVal
+		// reproduces the store's decoding exactly, so the resulting CHI
+		// is identical to the float path's.
+		var lut [256]int32
+		for b := range lut {
+			lut[b] = int32(binIndex(cfg.Edges, byteVal(b)))
+		}
+		for y := 0; y < m.H; y++ {
+			rowBase := (y / cfg.CellH) * gw
+			row := m.Bytes[y*m.W : (y+1)*m.W]
+			for cx := 0; cx < gw; cx++ {
+				cum := c.Cum[(rowBase+cx)*k:][:k]
+				for _, b := range row[cx*cfg.CellW : min((cx+1)*cfg.CellW, m.W)] {
+					cum[lut[b]]++
+				}
+			}
+		}
+	} else {
+		for y := 0; y < m.H; y++ {
+			cy := y / cfg.CellH
+			rowBase := cy * gw
+			for x := 0; x < m.W; x++ {
+				v := float64(m.Pix[y*m.W+x])
+				base := (rowBase + x/cfg.CellW) * k
+				c.Cum[base+binIndex(cfg.Edges, v)]++
+			}
 		}
 	}
 	for cell := 0; cell < gw*gh; cell++ {

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Exec selects the execution strategy for the engine's executors.
+//
+// The zero value runs the classic sequential engine. A positive
+// Workers count fans the per-mask bounds and verification work out
+// across that many goroutines; a negative count sizes the pool to
+// runtime.GOMAXPROCS(0). Filter and AggTopK produce results and stats
+// identical to the sequential engine under any worker count; TopK
+// produces identical results, but its verification stage additionally
+// refines τ as exact scores land, so it may skip loads the sequential
+// engine performs (the skips are counted as RejectedByBounds).
+type Exec struct {
+	Workers int
+}
+
+// ExecParallel returns the default worker-pool configuration:
+// GOMAXPROCS workers.
+func ExecParallel() Exec { return Exec{Workers: -1} }
+
+// ExecFor maps a user-facing workers knob (as exposed by
+// Options.Workers and the CLI -workers flags) to an execution
+// strategy: 0 means GOMAXPROCS, 1 forces the sequential engine, any
+// other count is used as-is.
+func ExecFor(workers int) Exec {
+	switch workers {
+	case 0:
+		return ExecParallel()
+	case 1:
+		return Exec{}
+	default:
+		return Exec{Workers: workers}
+	}
+}
+
+// EffectiveWorkers reports the resolved pool size (1 means the
+// sequential engine).
+func (e Exec) EffectiveWorkers() int { return e.workers() }
+
+// workers resolves the effective pool size.
+func (e Exec) workers() int {
+	switch {
+	case e.Workers == 0:
+		return 1
+	case e.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return e.Workers
+	}
+}
+
+// minParallelTargets is the smallest input for which spinning up the
+// pool is worth the goroutine overhead.
+const minParallelTargets = 16
+
+// fanOut runs fn(worker, i) for every i in [0, n) across the given
+// number of workers, handing out contiguous chunks from an atomic
+// cursor. It returns the error of the lowest-indexed worker that
+// failed (other workers stop at their next chunk boundary); ctx
+// cancellation is polled per chunk.
+func fanOut(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := int64(max(1, min(64, n/(workers*4))))
+	var next atomic.Int64
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				start := int(next.Add(chunk) - chunk)
+				if start >= n {
+					return
+				}
+				for i := start; i < min(start+int(chunk), n); i++ {
+					if err := fn(w, i); err != nil {
+						errs[w] = err
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addCounters folds per-worker stats into dst. Workers never set
+// Targets (the caller sets it once for the whole query), so Merge is
+// safe to reuse as-is.
+func addCounters(dst *Stats, ws []Stats) {
+	for i := range ws {
+		dst.Merge(ws[i])
+	}
+}
+
+// filterPar is the worker-pool Filter engine. Each target's decision
+// is independent, so the per-target outcomes — and therefore the
+// result list and every stat — are identical to the sequential path.
+func filterPar(ctx context.Context, env *Env, targets []int64, terms []CPTerm, pred Pred, workers int) ([]int64, Stats, error) {
+	st := Stats{Targets: len(targets)}
+	keep := make([]bool, len(targets))
+	wstats := make([]Stats, workers)
+	wbs := make([][]Bounds, workers)
+	for i := range wbs {
+		wbs[i] = make([]Bounds, len(terms))
+	}
+	err := fanOut(ctx, workers, len(targets), func(w, i int) error {
+		ok, err := env.filterTarget(targets[i], terms, pred, wbs[w], &wstats[w])
+		if err != nil {
+			return err
+		}
+		keep[i] = ok
+		return nil
+	})
+	addCounters(&st, wstats)
+	if err != nil {
+		return nil, st, err
+	}
+	var out []int64
+	for i, ok := range keep {
+		if ok {
+			out = append(out, targets[i])
+		}
+	}
+	return out, st, nil
+}
+
+// tauTracker maintains the k-th best exact score seen so far as a
+// shared, atomically readable threshold. For Desc it keeps a min-heap
+// of the k largest scores (the root is τ); for Asc a max-heap of the
+// k smallest. A candidate whose upper bound is strictly worse than τ
+// cannot tie with — let alone beat — any of the k tracked candidates,
+// so skipping it can never change the top-k result.
+type tauTracker struct {
+	mu   sync.Mutex
+	ord  Order
+	k    int
+	h    []int64
+	tau  atomic.Int64
+	full atomic.Bool
+}
+
+func newTauTracker(k int, ord Order) *tauTracker {
+	return &tauTracker{ord: ord, k: k, h: make([]int64, 0, k)}
+}
+
+// rootWorse reports whether a ranks strictly worse than b (the heap
+// root is the worst retained score).
+func (t *tauTracker) rootWorse(a, b int64) bool {
+	if t.ord == Desc {
+		return a < b
+	}
+	return a > b
+}
+
+// add lands one exact score.
+func (t *tauTracker) add(s int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.h) < t.k {
+		t.h = append(t.h, s)
+		for i := len(t.h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !t.rootWorse(t.h[i], t.h[p]) {
+				break
+			}
+			t.h[i], t.h[p] = t.h[p], t.h[i]
+			i = p
+		}
+		if len(t.h) == t.k {
+			t.tau.Store(t.h[0])
+			t.full.Store(true)
+		}
+		return
+	}
+	if !t.rootWorse(t.h[0], s) {
+		return
+	}
+	t.h[0] = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(t.h) && t.rootWorse(t.h[l], t.h[worst]) {
+			worst = l
+		}
+		if r < len(t.h) && t.rootWorse(t.h[r], t.h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			break
+		}
+		t.h[i], t.h[worst] = t.h[worst], t.h[i]
+		i = worst
+	}
+	t.tau.Store(t.h[0])
+}
+
+// skip reports whether a candidate with bounds b provably cannot
+// reach the k-th rank given the scores landed so far. Reading a stale
+// τ only makes the check more conservative, so no lock is needed.
+func (t *tauTracker) skip(b Bounds) bool {
+	if !t.full.Load() {
+		return false
+	}
+	if t.ord == Desc {
+		return b.Hi < t.tau.Load()
+	}
+	return b.Lo > t.tau.Load()
+}
+
+// topkPar is the worker-pool TopK engine: parallel bounds, static
+// pruning identical to the sequential engine, then parallel
+// verification under a shared refining τ.
+func topkPar(ctx context.Context, env *Env, targets []int64, terms []CPTerm, score Term, k int, ord Order, workers int) ([]Scored, Stats, error) {
+	st := Stats{Targets: len(targets)}
+	cands := make([]tkCand, len(targets))
+	wstats := make([]Stats, workers)
+	err := fanOut(ctx, workers, len(targets), func(w, i int) error {
+		c, err := env.topkBound(targets[i], terms[score], &wstats[w])
+		if err != nil {
+			return err
+		}
+		cands[i] = c
+		return nil
+	})
+	addCounters(&st, wstats)
+	if err != nil {
+		return nil, st, err
+	}
+	if k <= 0 || k > len(cands) {
+		k = len(cands)
+	}
+	cands = topkPrune(cands, k, ord, &st)
+
+	tt := newTauTracker(k, ord)
+	unknown := make([]int, 0, len(cands))
+	for i := range cands {
+		if cands[i].known {
+			st.AcceptedByBounds++
+			tt.add(cands[i].score)
+		} else {
+			unknown = append(unknown, i)
+		}
+	}
+	wstats = make([]Stats, workers)
+	err = fanOut(ctx, workers, len(unknown), func(w, ui int) error {
+		c := &cands[unknown[ui]]
+		if tt.skip(c.b) {
+			c.skip = true
+			wstats[w].RejectedByBounds++
+			return nil
+		}
+		vals, err := env.verify(c.id, terms, &wstats[w])
+		if err != nil {
+			return err
+		}
+		c.score = vals[score]
+		tt.add(c.score)
+		return nil
+	})
+	addCounters(&st, wstats)
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]Scored, 0, len(cands))
+	for i := range cands {
+		if cands[i].skip {
+			continue
+		}
+		out = append(out, Scored{ID: cands[i].id, Score: float64(cands[i].score)})
+	}
+	SortScored(out, ord)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out, st, nil
+}
+
+// aggPar is the worker-pool AggTopK engine: member bounds and member
+// verification fan out over a flat (group, member) work list; pruning
+// and aggregation match the sequential engine exactly.
+func aggPar(ctx context.Context, env *Env, cands []gcand, terms []CPTerm, score Term, agg Agg, k int, ord Order, workers int, st Stats) ([]Scored, Stats, error) {
+	type pair struct{ g, i int }
+	pairs := make([]pair, 0, st.Targets)
+	for gi := range cands {
+		for i := range cands[gi].ids {
+			pairs = append(pairs, pair{gi, i})
+		}
+	}
+	wstats := make([]Stats, workers)
+	err := fanOut(ctx, workers, len(pairs), func(w, pi int) error {
+		p := pairs[pi]
+		return env.memberBound(&cands[p.g], p.i, terms[score], &wstats[w])
+	})
+	addCounters(&st, wstats)
+	if err != nil {
+		return nil, st, err
+	}
+	for gi := range cands {
+		cands[gi].lo, cands[gi].hi = aggBounds(agg, cands[gi].los, cands[gi].his)
+	}
+	if k <= 0 || k > len(cands) {
+		k = len(cands)
+	}
+	cands = aggPrune(cands, k, ord, &st)
+
+	pairs = pairs[:0]
+	for gi := range cands {
+		for i := range cands[gi].ids {
+			if !cands[gi].known[i] {
+				pairs = append(pairs, pair{gi, i})
+			}
+		}
+	}
+	wstats = make([]Stats, workers)
+	err = fanOut(ctx, workers, len(pairs), func(w, pi int) error {
+		p := pairs[pi]
+		gc := &cands[p.g]
+		ev, err := env.verify(gc.ids[p.i], terms, &wstats[w])
+		if err != nil {
+			return err
+		}
+		gc.vals[p.i] = float64(ev[score])
+		return nil
+	})
+	addCounters(&st, wstats)
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]Scored, 0, len(cands))
+	for gi := range cands {
+		gc := &cands[gi]
+		for i := range gc.ids {
+			if gc.known[i] {
+				st.AcceptedByBounds++
+				gc.vals[i] = float64(gc.exact[i])
+			}
+		}
+		out = append(out, Scored{ID: gc.key, Score: AggExact(agg, gc.vals)})
+	}
+	SortScored(out, ord)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out, st, nil
+}
+
+// IndexAll builds a CHI for every listed mask not yet present in ix,
+// fanning mask loads and LUT builds across the pool. It returns how
+// many masks were newly indexed. This is the eager ("vanilla
+// MaskSearch") construction path; the incremental mode instead grows
+// the index one Observe at a time.
+func IndexAll(ctx context.Context, loader MaskLoader, ix *MemoryIndex, ids []int64, ex Exec) (int, error) {
+	var built atomic.Int64
+	do := func(id int64) error {
+		if chi, err := ix.ChiFor(id); err != nil {
+			return err
+		} else if chi != nil {
+			return nil
+		}
+		m, err := loader.LoadMask(id)
+		if err != nil {
+			return err
+		}
+		chi, err := Build(m, ix.Config())
+		if r, ok := loader.(MaskRecycler); ok {
+			r.ReleaseMask(m)
+		}
+		if err != nil {
+			return err
+		}
+		ix.Add(id, chi)
+		built.Add(1)
+		return nil
+	}
+	if w := ex.workers(); w > 1 && len(ids) >= minParallelTargets {
+		err := fanOut(ctx, w, len(ids), func(_, i int) error { return do(ids[i]) })
+		return int(built.Load()), err
+	}
+	for i, id := range ids {
+		if err := CheckCtx(ctx, i); err != nil {
+			return int(built.Load()), err
+		}
+		if err := do(id); err != nil {
+			return int(built.Load()), err
+		}
+	}
+	return int(built.Load()), nil
+}

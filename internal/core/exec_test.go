@@ -1,0 +1,323 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// syncLoader is a goroutine-safe in-memory loader for the parallel
+// engine tests.
+type syncLoader struct {
+	mu     sync.Mutex
+	masks  map[int64]*Mask
+	loaded int
+}
+
+func (l *syncLoader) LoadMask(id int64) (*Mask, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m, ok := l.masks[id]
+	if !ok {
+		return nil, fmt.Errorf("no mask %d", id)
+	}
+	l.loaded++
+	return m, nil
+}
+
+// buildParFixture returns n random masks with a partial index (every
+// third mask unindexed) so the parallel engines exercise both the
+// bounds and the verification paths.
+func buildParFixture(rng *rand.Rand, n, w, h int) (*syncLoader, *MemoryIndex, []int64) {
+	loader := &syncLoader{masks: map[int64]*Mask{}}
+	idx := NewMemoryIndex(Config{CellW: 4, CellH: 4, Edges: DefaultEdges(10)})
+	ids := make([]int64, 0, n)
+	for i := 1; i <= n; i++ {
+		id := int64(i)
+		m := randomMask(rng, w, h)
+		loader.masks[id] = m
+		if i%3 != 0 {
+			chi, _ := Build(m, idx.Config())
+			idx.Add(id, chi)
+		}
+		ids = append(ids, id)
+	}
+	return loader, idx, ids
+}
+
+var workerCounts = []int{1, 2, 8}
+
+// TestParallelFilterMatchesSequential is the engine-equivalence
+// property for Filter: byte-identical results AND stats across worker
+// counts, plus the stats partition invariant.
+func TestParallelFilterMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ctx := context.Background()
+	loader, idx, ids := buildParFixture(rng, 90, 16, 16)
+	for iter := 0; iter < 40; iter++ {
+		roi := randomROI(rng, 16, 16)
+		vr := randomVR(rng)
+		terms := []CPTerm{{Region: FixedRegion(roi), Range: vr}}
+		pred := Cmp{T: 0, Op: OpGt, C: int64(rng.Intn(120))}
+
+		seqEnv := &Env{Loader: loader, Index: idx}
+		want, wantSt, err := Filter(ctx, seqEnv, ids, terms, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			env := &Env{Loader: loader, Index: idx, Exec: Exec{Workers: w}}
+			got, st, err := Filter(ctx, env, ids, terms, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("iter %d workers %d: filter results differ:\ngot  %v\nwant %v", iter, w, got, want)
+			}
+			if st != wantSt {
+				t.Fatalf("iter %d workers %d: filter stats differ: %v vs %v", iter, w, st, wantSt)
+			}
+			if st.Loaded+st.AcceptedByBounds+st.RejectedByBounds != st.Targets {
+				t.Fatalf("iter %d workers %d: stats don't partition targets: %v", iter, w, st)
+			}
+		}
+	}
+}
+
+// TestParallelTopKMatchesSequential checks TopK result equivalence.
+// Load counts may legitimately differ (the pool refines τ and skips
+// loads), but the verification stage must stay admissible:
+// Loaded + RejectedByBounds is conserved.
+func TestParallelTopKMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ctx := context.Background()
+	loader, idx, ids := buildParFixture(rng, 90, 16, 16)
+	for iter := 0; iter < 40; iter++ {
+		roi := randomROI(rng, 16, 16)
+		vr := randomVR(rng)
+		k := 1 + rng.Intn(15)
+		ord := Order(rng.Intn(2))
+		terms := []CPTerm{{Region: FixedRegion(roi), Range: vr}}
+
+		want, wantSt, err := TopK(ctx, &Env{Loader: loader, Index: idx}, ids, terms, 0, k, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			env := &Env{Loader: loader, Index: idx, Exec: Exec{Workers: w}}
+			got, st, err := TopK(ctx, env, ids, terms, 0, k, ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("iter %d workers %d (k=%d %v): topk results differ:\ngot  %v\nwant %v",
+					iter, w, k, ord, got, want)
+			}
+			if st.Targets != wantSt.Targets || st.IndexHits != wantSt.IndexHits ||
+				st.AcceptedByBounds != wantSt.AcceptedByBounds {
+				t.Fatalf("iter %d workers %d: deterministic topk stats differ: %v vs %v", iter, w, st, wantSt)
+			}
+			if st.Loaded+st.RejectedByBounds != wantSt.Loaded+wantSt.RejectedByBounds {
+				t.Fatalf("iter %d workers %d: topk verification not conserved: %v vs %v", iter, w, st, wantSt)
+			}
+			if st.Loaded > wantSt.Loaded {
+				t.Fatalf("iter %d workers %d: parallel topk loaded more (%d) than sequential (%d)",
+					iter, w, st.Loaded, wantSt.Loaded)
+			}
+		}
+	}
+}
+
+// TestParallelAggTopKMatchesSequential checks AggTopK equivalence:
+// results and stats are fully deterministic for the aggregation
+// engine.
+func TestParallelAggTopKMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ctx := context.Background()
+	loader, idx, ids := buildParFixture(rng, 90, 16, 16)
+	var groups []Group
+	for i := 0; i < len(ids); i += 5 {
+		groups = append(groups, Group{Key: int64(i / 5), IDs: ids[i:min(i+5, len(ids))]})
+	}
+	groups = append(groups, Group{Key: 1000}) // empty group
+	for iter := 0; iter < 40; iter++ {
+		roi := randomROI(rng, 16, 16)
+		vr := randomVR(rng)
+		k := 1 + rng.Intn(10)
+		agg := Agg(rng.Intn(4))
+		ord := Order(rng.Intn(2))
+		terms := []CPTerm{{Region: FixedRegion(roi), Range: vr}}
+
+		want, wantSt, err := AggTopK(ctx, &Env{Loader: loader, Index: idx}, groups, terms, 0, agg, k, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			env := &Env{Loader: loader, Index: idx, Exec: Exec{Workers: w}}
+			got, st, err := AggTopK(ctx, env, groups, terms, 0, agg, k, ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("iter %d workers %d (%v k=%d %v): aggtopk results differ:\ngot  %v\nwant %v",
+					iter, w, agg, k, ord, got, want)
+			}
+			if st != wantSt {
+				t.Fatalf("iter %d workers %d: aggtopk stats differ: %v vs %v", iter, w, st, wantSt)
+			}
+		}
+	}
+}
+
+// TestParallelFilterError checks that loader errors surface from the
+// pool instead of deadlocking or being dropped.
+func TestParallelFilterError(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	loader, _, ids := buildParFixture(rng, 40, 8, 8)
+	delete(loader.masks, ids[17])
+	terms := []CPTerm{{Region: FixedRegion(Rect{0, 0, 8, 8}), Range: ValueRange{Lo: 0.4, Hi: 0.6}}}
+	env := &Env{Loader: loader, Exec: Exec{Workers: 4}}
+	if _, _, err := Filter(context.Background(), env, ids, terms, Cmp{T: 0, Op: OpGt, C: 3}); err == nil {
+		t.Fatal("missing mask should fail the parallel filter")
+	}
+}
+
+// TestParallelCancellation checks ctx cancellation stops the pool.
+func TestParallelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	loader, idx, ids := buildParFixture(rng, 64, 8, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	terms := []CPTerm{{Region: FixedRegion(Rect{0, 0, 8, 8}), Range: ValueRange{Lo: 0.4, Hi: 0.6}}}
+	env := &Env{Loader: loader, Index: idx, Exec: Exec{Workers: 4}}
+	if _, _, err := Filter(ctx, env, ids, terms, Cmp{T: 0, Op: OpGt, C: 3}); err == nil {
+		t.Fatal("cancelled ctx should abort the parallel filter")
+	}
+}
+
+// TestIndexAll checks the parallel eager build: every mask indexed,
+// existing entries untouched, and the built count right.
+func TestIndexAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	loader, _, ids := buildParFixture(rng, 50, 16, 16)
+	for _, w := range workerCounts {
+		idx := NewMemoryIndex(Config{CellW: 4, CellH: 4, Edges: DefaultEdges(10)})
+		pre, _ := Build(loader.masks[ids[0]], idx.Config())
+		idx.Add(ids[0], pre)
+		built, err := IndexAll(context.Background(), loader, idx, ids, Exec{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if built != len(ids)-1 {
+			t.Fatalf("workers %d: built %d, want %d", w, built, len(ids)-1)
+		}
+		if idx.Len() != len(ids) {
+			t.Fatalf("workers %d: indexed %d of %d", w, idx.Len(), len(ids))
+		}
+		// Spot-check a CHI against a direct build.
+		roi := Rect{1, 2, 14, 15}
+		vr := ValueRange{Lo: 0.3, Hi: 1.0}
+		for _, id := range ids[:5] {
+			chi, _ := idx.ChiFor(id)
+			direct, _ := Build(loader.masks[id], idx.Config())
+			if chi.CPBounds(roi, vr) != direct.CPBounds(roi, vr) {
+				t.Fatalf("workers %d: IndexAll CHI differs for mask %d", w, id)
+			}
+		}
+	}
+}
+
+// TestTauTracker unit-tests the shared threshold refinement.
+func TestTauTracker(t *testing.T) {
+	tt := newTauTracker(3, Desc)
+	if tt.skip(Bounds{0, 5}) {
+		t.Fatal("tracker should not skip before k scores land")
+	}
+	for _, s := range []int64{10, 2, 7} {
+		tt.add(s)
+	}
+	// Top-3 = {10, 7, 2}, τ = 2.
+	if !tt.skip(Bounds{0, 1}) || tt.skip(Bounds{0, 2}) {
+		t.Fatalf("Desc τ after seed = %d, want 2 with strict skip", tt.tau.Load())
+	}
+	tt.add(8) // top-3 = {10, 8, 7}, τ = 7
+	if !tt.skip(Bounds{0, 6}) || tt.skip(Bounds{0, 7}) {
+		t.Fatalf("Desc τ after refine = %d, want 7", tt.tau.Load())
+	}
+
+	ta := newTauTracker(2, Asc)
+	for _, s := range []int64{10, 2, 7} {
+		ta.add(s)
+	}
+	// Bottom-2 = {2, 7}, τ = 7: skip iff Lo > 7.
+	if !ta.skip(Bounds{8, 100}) || ta.skip(Bounds{7, 100}) {
+		t.Fatalf("Asc τ = %d, want 7", ta.tau.Load())
+	}
+	ta.add(3) // bottom-2 = {2, 3}
+	if !ta.skip(Bounds{4, 100}) {
+		t.Fatalf("Asc τ after refine = %d, want 3", ta.tau.Load())
+	}
+}
+
+// TestMemoryIndexConcurrency is the satellite stress test: parallel
+// Observe, ChiFor, Add and Encode on one index must be race-free and
+// leave a fully populated, decodable index behind.
+func TestMemoryIndexConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	const n = 60
+	masks := make(map[int64]*Mask, n)
+	for i := 1; i <= n; i++ {
+		masks[int64(i)] = randomMask(rng, 12, 12)
+	}
+	idx := NewMemoryIndex(Config{CellW: 3, CellH: 3, Edges: DefaultEdges(8)})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= n; i++ {
+				id := int64((i+g*7)%n + 1)
+				switch g % 3 {
+				case 0:
+					idx.Observe(id, masks[id])
+				case 1:
+					if _, err := idx.ChiFor(id); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = idx.Len()
+					_ = idx.SizeBytes()
+				default:
+					idx.Observe(id, masks[id])
+					var buf bytes.Buffer
+					if err := idx.Encode(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every mask observed by at least one goroutine family.
+	for i := 1; i <= n; i++ {
+		chi, err := idx.ChiFor(int64(i))
+		if err != nil || chi == nil {
+			t.Fatalf("mask %d missing after concurrent observes (err %v)", i, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := idx.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMemoryIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != n {
+		t.Fatalf("round trip lost entries: %d of %d", back.Len(), n)
+	}
+}

@@ -6,13 +6,24 @@ import (
 )
 
 // MaskLoader materializes masks by id. *store.Store implements it; so
-// do in-memory test loaders.
+// do in-memory test loaders. Loaders must be safe for concurrent use:
+// the parallel engine issues LoadMask calls from many goroutines.
 type MaskLoader interface {
 	LoadMask(id int64) (*Mask, error)
 }
 
+// MaskRecycler is optionally implemented by loaders that pool mask
+// buffers. The engine releases a mask back to its loader once
+// verification (including the OnVerify callback) is done with it, so
+// OnVerify implementations must not retain the mask or its backing
+// slices past their return.
+type MaskRecycler interface {
+	ReleaseMask(m *Mask)
+}
+
 // Index resolves the CHI of a mask, returning (nil, nil) when the mask
-// is not indexed (the engine then falls back to verification).
+// is not indexed (the engine then falls back to verification). Index
+// implementations must be safe for concurrent use.
 type Index interface {
 	ChiFor(id int64) (*CHI, error)
 }
@@ -20,14 +31,18 @@ type Index interface {
 // Env wires an executor to its storage and index. OnVerify, when set,
 // observes every mask loaded during verification; the incremental
 // indexing mode (§3.6) points it at MemoryIndex.Observe so future
-// queries benefit from work already paid for.
+// queries benefit from work already paid for. Exec selects sequential
+// or worker-pool execution; OnVerify may be called concurrently when
+// the pool is enabled.
 type Env struct {
 	Loader   MaskLoader
 	Index    Index
 	OnVerify func(id int64, m *Mask)
+	Exec     Exec
 }
 
-// verify loads one mask and computes every term exactly.
+// verify loads one mask and computes every term exactly. The mask is
+// recycled to the loader (when supported) before returning.
 func (e *Env) verify(id int64, terms []CPTerm, st *Stats) ([]int64, error) {
 	if e.Loader == nil {
 		return nil, fmt.Errorf("core: no mask loader configured")
@@ -43,6 +58,9 @@ func (e *Env) verify(id int64, terms []CPTerm, st *Stats) ([]int64, error) {
 	}
 	if e.OnVerify != nil {
 		e.OnVerify(id, m)
+	}
+	if r, ok := e.Loader.(MaskRecycler); ok {
+		r.ReleaseMask(m)
 	}
 	return vals, nil
 }
@@ -75,50 +93,67 @@ func CheckCtx(ctx context.Context, i int) error {
 	return nil
 }
 
+// filterTarget resolves one target: decide from CHI bounds when
+// possible, otherwise load and verify. bs is a caller-owned scratch
+// buffer of len(terms) bounds.
+func (e *Env) filterTarget(id int64, terms []CPTerm, pred Pred, bs []Bounds, st *Stats) (bool, error) {
+	decision := Unknown
+	if len(terms) == 0 {
+		decision = True // metadata-only predicate: nothing to bound or verify
+	} else {
+		chi, err := e.chiFor(id, st)
+		if err != nil {
+			return false, err
+		}
+		if chi != nil {
+			for t, term := range terms {
+				bs[t] = term.BoundsFrom(chi, id)
+			}
+			decision = pred.FromBounds(bs)
+		}
+	}
+	switch decision {
+	case True:
+		st.AcceptedByBounds++
+		return true, nil
+	case False:
+		st.RejectedByBounds++
+		return false, nil
+	default:
+		vals, err := e.verify(id, terms, st)
+		if err != nil {
+			return false, err
+		}
+		return pred.Eval(vals), nil
+	}
+}
+
 // Filter returns the target ids whose term values satisfy pred, in
 // target order. The filter stage decides as many masks as possible
 // from CHI bounds; only masks the bounds cannot decide are loaded and
-// verified exactly.
+// verified exactly. With env.Exec configured for a worker pool the
+// per-target work fans out across goroutines; results and stats are
+// identical to the sequential engine.
 func Filter(ctx context.Context, env *Env, targets []int64, terms []CPTerm, pred Pred) ([]int64, Stats, error) {
-	st := Stats{Targets: len(targets)}
 	if pred == nil {
 		pred = And{}
 	}
+	if w := env.Exec.workers(); w > 1 && len(targets) >= minParallelTargets {
+		return filterPar(ctx, env, targets, terms, pred, w)
+	}
+	st := Stats{Targets: len(targets)}
 	var out []int64
 	bs := make([]Bounds, len(terms))
 	for i, id := range targets {
 		if err := CheckCtx(ctx, i); err != nil {
 			return nil, st, err
 		}
-		decision := Unknown
-		if len(terms) == 0 {
-			decision = True // metadata-only predicate: nothing to bound or verify
-		} else {
-			chi, err := env.chiFor(id, &st)
-			if err != nil {
-				return nil, st, err
-			}
-			if chi != nil {
-				for t, term := range terms {
-					bs[t] = term.BoundsFrom(chi, id)
-				}
-				decision = pred.FromBounds(bs)
-			}
+		keep, err := env.filterTarget(id, terms, pred, bs, &st)
+		if err != nil {
+			return nil, st, err
 		}
-		switch decision {
-		case True:
-			st.AcceptedByBounds++
+		if keep {
 			out = append(out, id)
-		case False:
-			st.RejectedByBounds++
-		default:
-			vals, err := env.verify(id, terms, &st)
-			if err != nil {
-				return nil, st, err
-			}
-			if pred.Eval(vals) {
-				out = append(out, id)
-			}
 		}
 	}
 	return out, st, nil

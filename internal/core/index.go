@@ -44,7 +44,16 @@ func (ix *MemoryIndex) Add(id int64, chi *CHI) {
 
 // Observe indexes a mask that a query just loaded, if it is not
 // indexed yet. Its signature matches Env.OnVerify so the incremental
-// mode is wired as OnVerify: idx.Observe.
+// mode is wired as OnVerify: idx.Observe. It never retains m: the CHI
+// is fully built before it returns, so the engine may recycle the
+// mask's buffers immediately afterwards.
+//
+// The check-then-build sequence is deliberately not atomic: two
+// goroutines observing the same unindexed mask may both build its
+// CHI and the last Add wins. That race is benign — both builds
+// produce the identical index entry (Build is deterministic in m and
+// cfg) — and keeping Build outside the lock means a slow build never
+// blocks concurrent ChiFor readers.
 func (ix *MemoryIndex) Observe(id int64, m *Mask) {
 	ix.mu.RLock()
 	_, ok := ix.chis[id]
@@ -91,7 +100,7 @@ func (ix *MemoryIndex) Encode(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(indexFile{Cfg: ix.cfg, Chis: ix.chis})
 }
 
-// ReadMemoryIndex reloads an index serialized by WriteTo.
+// ReadMemoryIndex reloads an index serialized by Encode.
 func ReadMemoryIndex(r io.Reader) (*MemoryIndex, error) {
 	var f indexFile
 	if err := gob.NewDecoder(r).Decode(&f); err != nil {

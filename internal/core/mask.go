@@ -8,7 +8,13 @@
 // internal engine surface that cmd/ tools reach through the facade.
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
 
 // Rect is a half-open pixel rectangle [X0, X1) x [Y0, Y1).
 type Rect struct {
@@ -77,6 +83,27 @@ func (vr ValueRange) IsEmpty() bool {
 	return vr.Lo >= vr.Hi
 }
 
+// byteVal is the exact value a stored uint8 pixel decodes to: the
+// store divides in float32 and the kernels compare in float64, so the
+// same widening sequence is reproduced here.
+func byteVal(b int) float64 { return float64(float32(b) / 255) }
+
+// ByteBounds quantizes the range to the uint8 pixel domain once per
+// query: a stored byte b satisfies the range iff lo <= b < hi (hi
+// ranges up to 256). Because byteVal is strictly increasing, the byte
+// interval selects exactly the bytes whose decoded value satisfies
+// Contains, so byte-domain kernels agree bit-for-bit with the float
+// path on quantized masks.
+func (vr ValueRange) ByteBounds() (lo, hi int) {
+	lo = sort.Search(256, func(b int) bool { return byteVal(b) >= vr.Lo })
+	if vr.Hi >= 1 {
+		// Top-closed: every byte decodes to a value <= 1.0.
+		return lo, 256
+	}
+	hi = sort.Search(256, func(b int) bool { return byteVal(b) >= vr.Hi })
+	return lo, hi
+}
+
 func (vr ValueRange) String() string {
 	if vr.Hi >= 1 {
 		return fmt.Sprintf("[%g, 1.0]", vr.Lo)
@@ -85,32 +112,82 @@ func (vr ValueRange) String() string {
 }
 
 // Mask is a dense 2-D array of pixel values in [0, 1], row-major.
+// It has two interchangeable backings:
+//
+//   - Pix, float32 values, the general representation; and
+//   - Bytes, raw uint8 pixels as stored on disk (value = b/255).
+//
+// When Bytes is non-nil it is authoritative and the kernels run in
+// the byte domain (SWAR counting over quantized thresholds, no float
+// conversion); Pix may then be nil. Masks loaded from a store are
+// byte-backed; masks built in memory via NewMask are float-backed.
+// Consumers should read pixels through At, ExactCP or ToFloat rather
+// than ranging over Pix directly, which is nil on byte-backed masks.
 type Mask struct {
-	W, H int
-	Pix  []float32
+	W, H  int
+	Pix   []float32
+	Bytes []uint8
 }
 
-// NewMask allocates a zero mask of the given dimensions.
+// NewMask allocates a zero float-backed mask of the given dimensions.
 func NewMask(w, h int) *Mask {
 	return &Mask{W: w, H: h, Pix: make([]float32, w*h)}
 }
 
-// At returns the value at pixel (x, y). The caller must stay in bounds.
-func (m *Mask) At(x, y int) float32 { return m.Pix[y*m.W+x] }
+// NewByteMask allocates a zero byte-backed mask of the given
+// dimensions.
+func NewByteMask(w, h int) *Mask {
+	return &Mask{W: w, H: h, Bytes: make([]uint8, w*h)}
+}
 
-// Set stores v at pixel (x, y). The caller must stay in bounds.
-func (m *Mask) Set(x, y int, v float32) { m.Pix[y*m.W+x] = v }
+// At returns the value at pixel (x, y). The caller must stay in bounds.
+func (m *Mask) At(x, y int) float32 {
+	if m.Bytes != nil {
+		return float32(m.Bytes[y*m.W+x]) / 255
+	}
+	return m.Pix[y*m.W+x]
+}
+
+// Set stores v at pixel (x, y). The caller must stay in bounds. On a
+// byte-backed mask the value is clamped to [0, 1] and quantized to
+// the storage domain, so a subsequent At may return the nearest
+// representable value rather than v itself.
+func (m *Mask) Set(x, y int, v float32) {
+	if m.Bytes != nil {
+		v = min(max(v, 0), 1)
+		m.Bytes[y*m.W+x] = uint8(math.Round(float64(v) * 255))
+		return
+	}
+	m.Pix[y*m.W+x] = v
+}
+
+// ToFloat returns a float-backed view of the mask: the mask itself
+// when already float-backed, otherwise a converted copy.
+func (m *Mask) ToFloat() *Mask {
+	if m.Bytes == nil {
+		return m
+	}
+	out := NewMask(m.W, m.H)
+	for i, b := range m.Bytes {
+		out.Pix[i] = float32(b) / 255
+	}
+	return out
+}
 
 // Bounds returns the full-mask rectangle.
 func (m *Mask) Bounds() Rect { return Rect{0, 0, m.W, m.H} }
 
 // ExactCP computes CP(mask, roi, vr): the count of pixels inside roi
 // whose value falls in vr. This is the verification-stage kernel; the
-// filter stage approximates it with CHI.CPBounds.
+// filter stage approximates it with CHI.CPBounds. Byte-backed masks
+// take a quantized fast path that avoids any float work.
 func ExactCP(m *Mask, roi Rect, vr ValueRange) int64 {
 	roi = roi.Intersect(m.Bounds())
 	if roi.Empty() || vr.IsEmpty() {
 		return 0
+	}
+	if m.Bytes != nil {
+		return exactCPBytes(m, roi, vr)
 	}
 	// Comparisons happen in float64 so the kernel agrees exactly with
 	// ValueRange.Contains and with CHI bin assignment.
@@ -130,6 +207,101 @@ func ExactCP(m *Mask, roi Rect, vr ValueRange) int64 {
 			} else if v < vr.Hi {
 				n++
 			}
+		}
+	}
+	return n
+}
+
+// SWAR constants: the low bit and the high (sign) bit of every byte
+// lane in a 64-bit word.
+const (
+	swarL = 0x0101010101010101
+	swarH = 0x8080808080808080
+)
+
+// geCounter counts bytes >= a fixed threshold n, eight lanes at a
+// time. The per-lane comparison adds 128-n (or 256-n when n > 128) to
+// the low 7 bits of each lane — the sum's MSB then flags "low bits >=
+// threshold" with no carry ever crossing a lane — and combines it
+// with the lane's own MSB: OR for n <= 128 (a set MSB alone implies
+// >= n), AND for n > 128 (the MSB is necessary, and the low bits must
+// clear n-128).
+type geCounter struct {
+	add uint64
+	and bool
+}
+
+func geCounterFor(n int) geCounter {
+	if n <= 128 {
+		return geCounter{add: uint64(128-n) * swarL}
+	}
+	return geCounter{add: uint64(256-n) * swarL, and: true}
+}
+
+// mask returns a word whose lane MSBs flag the qualifying bytes of x.
+func (g geCounter) mask(x uint64) uint64 {
+	t := ((x &^ swarH) + g.add) & swarH
+	if g.and {
+		return t & x & swarH
+	}
+	return t | (x & swarH)
+}
+
+// exactCPBytes counts qualifying pixels entirely in the byte domain.
+// The range endpoints are quantized once, then each 8-pixel word
+// costs a handful of bit operations and one popcount — no float
+// conversion, no table, no data-dependent branch.
+func exactCPBytes(m *Mask, roi Rect, vr ValueRange) int64 {
+	bLo, bHi := vr.ByteBounds()
+	if bLo >= bHi {
+		return 0
+	}
+	if bLo == 0 && bHi == 256 {
+		return int64(roi.Area())
+	}
+	band := bHi < 256
+	cLo := geCounterFor(bLo)
+	cHi := geCounterFor(bHi)
+	rw := roi.W()
+	var n int64
+	if rw < 8 {
+		// Rows too narrow for a word load: plain comparisons.
+		lo, hi := uint8(bLo), uint8(bHi-1) // inclusive top; bHi > bLo >= 0
+		for y := roi.Y0; y < roi.Y1; y++ {
+			for _, b := range m.Bytes[y*m.W+roi.X0 : y*m.W+roi.X1] {
+				if b >= lo && (!band || b <= hi) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	// tailMask keeps the high rem lanes of the word ending at the row
+	// boundary, so the remainder re-reads (and masks off) bytes the
+	// aligned loop already counted instead of falling back to a
+	// per-byte tail.
+	rem := rw % 8
+	tailMask := ^uint64(0) << (8 * (8 - rem))
+	for y := roi.Y0; y < roi.Y1; y++ {
+		row := m.Bytes[y*m.W+roi.X0 : y*m.W+roi.X1]
+		if band {
+			for i := 0; i+8 <= rw; i += 8 {
+				v := binary.LittleEndian.Uint64(row[i:])
+				n += int64(bits.OnesCount64(cLo.mask(v)) - bits.OnesCount64(cHi.mask(v)))
+			}
+			if rem > 0 {
+				v := binary.LittleEndian.Uint64(row[rw-8:])
+				n += int64(bits.OnesCount64(cLo.mask(v)&tailMask) - bits.OnesCount64(cHi.mask(v)&tailMask))
+			}
+			continue
+		}
+		for i := 0; i+8 <= rw; i += 8 {
+			v := binary.LittleEndian.Uint64(row[i:])
+			n += int64(bits.OnesCount64(cLo.mask(v)))
+		}
+		if rem > 0 {
+			v := binary.LittleEndian.Uint64(row[rw-8:])
+			n += int64(bits.OnesCount64(cLo.mask(v) & tailMask))
 		}
 	}
 	return n

@@ -11,78 +11,107 @@ import (
 // it forces the mask into the candidate set so it gets verified.
 const unknownHi = int64(math.MaxInt64 / 4)
 
+// tkCand is one Top-K candidate between the bounds and verification
+// stages.
+type tkCand struct {
+	id    int64
+	b     Bounds
+	known bool
+	score int64
+	// skip marks candidates the parallel engine proved out of the
+	// top k after static pruning (dynamic τ refinement).
+	skip bool
+}
+
+// topkBound fills one candidate from the index.
+func (e *Env) topkBound(id int64, term CPTerm, st *Stats) (tkCand, error) {
+	c := tkCand{id: id, b: Bounds{0, unknownHi}}
+	chi, err := e.chiFor(id, st)
+	if err != nil {
+		return c, err
+	}
+	if chi != nil {
+		c.b = term.BoundsFrom(chi, id)
+		if c.b.Lo == c.b.Hi {
+			c.known, c.score = true, c.b.Lo
+		}
+	}
+	return c, nil
+}
+
+// topkPrune drops candidates whose bounds provably cannot reach the
+// k-th rank (static τ from the k-th best guaranteed score). Requires
+// 0 < k <= len(cands); it mutates cands in place and returns the
+// survivors.
+func topkPrune(cands []tkCand, k int, ord Order, st *Stats) []tkCand {
+	if k >= len(cands) {
+		return cands
+	}
+	sel := make([]int64, len(cands))
+	if ord == Desc {
+		for i, c := range cands {
+			sel[i] = c.b.Lo
+		}
+		sort.Slice(sel, func(i, j int) bool { return sel[i] > sel[j] })
+		tau := sel[k-1]
+		kept := cands[:0]
+		for _, c := range cands {
+			if c.b.Hi >= tau {
+				kept = append(kept, c)
+			} else {
+				st.RejectedByBounds++
+			}
+		}
+		return kept
+	}
+	for i, c := range cands {
+		sel[i] = c.b.Hi
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
+	tau := sel[k-1]
+	kept := cands[:0]
+	for _, c := range cands {
+		if c.b.Lo <= tau {
+			kept = append(kept, c)
+		} else {
+			st.RejectedByBounds++
+		}
+	}
+	return kept
+}
+
 // TopK ranks targets by the exact value of terms[score] and returns
 // the best k in the requested order (ties break toward smaller ids).
 // CHI bounds prune targets that provably cannot reach the k-th rank;
-// only surviving candidates with inexact bounds are loaded.
+// only surviving candidates with inexact bounds are loaded. With a
+// worker pool configured the bounds and verification stages fan out;
+// the returned ranking is identical to the sequential engine's, but
+// the pool additionally refines τ as exact scores land, so the
+// verification stage may skip (and not load) candidates the
+// sequential engine would have loaded.
 func TopK(ctx context.Context, env *Env, targets []int64, terms []CPTerm, score Term, k int, ord Order) ([]Scored, Stats, error) {
 	if int(score) < 0 || int(score) >= len(terms) {
 		return nil, Stats{}, fmt.Errorf("core: score term T%d out of range (have %d terms)", int(score), len(terms))
 	}
-	st := Stats{Targets: len(targets)}
-	type cand struct {
-		id    int64
-		b     Bounds
-		known bool
-		score int64
+	if w := env.Exec.workers(); w > 1 && len(targets) >= minParallelTargets {
+		return topkPar(ctx, env, targets, terms, score, k, ord, w)
 	}
-	cands := make([]cand, 0, len(targets))
+	st := Stats{Targets: len(targets)}
+	cands := make([]tkCand, 0, len(targets))
 	for i, id := range targets {
 		if err := CheckCtx(ctx, i); err != nil {
 			return nil, st, err
 		}
-		c := cand{id: id, b: Bounds{0, unknownHi}}
-		chi, err := env.chiFor(id, &st)
+		c, err := env.topkBound(id, terms[score], &st)
 		if err != nil {
 			return nil, st, err
-		}
-		if chi != nil {
-			c.b = terms[score].BoundsFrom(chi, id)
-			if c.b.Lo == c.b.Hi {
-				c.known, c.score = true, c.b.Lo
-			}
 		}
 		cands = append(cands, c)
 	}
 	if k <= 0 || k > len(cands) {
 		k = len(cands)
 	}
-	// Prune: a candidate survives only if its bound overlaps the k-th
-	// best guaranteed score.
-	if k < len(cands) {
-		sel := make([]int64, len(cands))
-		if ord == Desc {
-			for i, c := range cands {
-				sel[i] = c.b.Lo
-			}
-			sort.Slice(sel, func(i, j int) bool { return sel[i] > sel[j] })
-			tau := sel[k-1]
-			kept := cands[:0]
-			for _, c := range cands {
-				if c.b.Hi >= tau {
-					kept = append(kept, c)
-				} else {
-					st.RejectedByBounds++
-				}
-			}
-			cands = kept
-		} else {
-			for i, c := range cands {
-				sel[i] = c.b.Hi
-			}
-			sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
-			tau := sel[k-1]
-			kept := cands[:0]
-			for _, c := range cands {
-				if c.b.Lo <= tau {
-					kept = append(kept, c)
-				} else {
-					st.RejectedByBounds++
-				}
-			}
-			cands = kept
-		}
-	}
+	cands = topkPrune(cands, k, ord, &st)
 	out := make([]Scored, 0, len(cands))
 	for i := range cands {
 		c := &cands[i]
@@ -104,114 +133,148 @@ func TopK(ctx context.Context, env *Env, targets []int64, terms []CPTerm, score 
 	return out, st, nil
 }
 
+// gcand is one aggregation-query candidate group.
+type gcand struct {
+	key      int64
+	ids      []int64
+	lo, hi   float64
+	los, his []float64
+	known    []bool
+	exact    []int64
+	vals     []float64
+}
+
+// gcandSkeletons allocates the per-group state, skipping empty groups.
+func gcandSkeletons(groups []Group, st *Stats) []gcand {
+	cands := make([]gcand, 0, len(groups))
+	for _, g := range groups {
+		if len(g.IDs) == 0 {
+			continue
+		}
+		st.Targets += len(g.IDs)
+		cands = append(cands, gcand{
+			key:   g.Key,
+			ids:   g.IDs,
+			los:   make([]float64, len(g.IDs)),
+			his:   make([]float64, len(g.IDs)),
+			known: make([]bool, len(g.IDs)),
+			exact: make([]int64, len(g.IDs)),
+			vals:  make([]float64, len(g.IDs)),
+		})
+	}
+	return cands
+}
+
+// memberBound resolves one group member's score bounds.
+func (e *Env) memberBound(gc *gcand, i int, term CPTerm, st *Stats) error {
+	id := gc.ids[i]
+	b := Bounds{0, unknownHi}
+	chi, err := e.chiFor(id, st)
+	if err != nil {
+		return err
+	}
+	if chi != nil {
+		b = term.BoundsFrom(chi, id)
+		if b.Lo == b.Hi {
+			gc.known[i], gc.exact[i] = true, b.Lo
+		}
+		gc.his[i] = float64(b.Hi)
+	} else {
+		gc.his[i] = math.Inf(1)
+	}
+	gc.los[i] = float64(b.Lo)
+	return nil
+}
+
+// aggPrune drops groups whose aggregate bounds provably cannot reach
+// the k-th rank. Requires 0 < k <= len(cands).
+func aggPrune(cands []gcand, k int, ord Order, st *Stats) []gcand {
+	if k >= len(cands) {
+		return cands
+	}
+	sel := make([]float64, len(cands))
+	if ord == Desc {
+		for i, c := range cands {
+			sel[i] = c.lo
+		}
+		sort.Slice(sel, func(i, j int) bool { return sel[i] > sel[j] })
+		tau := sel[k-1]
+		kept := cands[:0]
+		for _, c := range cands {
+			if c.hi >= tau {
+				kept = append(kept, c)
+			} else {
+				st.RejectedByBounds += len(c.ids)
+			}
+		}
+		return kept
+	}
+	for i, c := range cands {
+		sel[i] = c.hi
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
+	tau := sel[k-1]
+	kept := cands[:0]
+	for _, c := range cands {
+		if c.lo <= tau {
+			kept = append(kept, c)
+		} else {
+			st.RejectedByBounds += len(c.ids)
+		}
+	}
+	return kept
+}
+
 // AggTopK groups masks, aggregates the exact value of terms[score]
 // within each group with agg, and returns the top-k groups. Group
 // bounds are derived from member CHI bounds; groups that provably
-// cannot rank are pruned before any mask is loaded.
+// cannot rank are pruned before any mask is loaded. The worker-pool
+// engine fans both the member-bounds and member-verification stages
+// out across goroutines with results and stats identical to the
+// sequential engine.
 func AggTopK(ctx context.Context, env *Env, groups []Group, terms []CPTerm, score Term, agg Agg, k int, ord Order) ([]Scored, Stats, error) {
 	if int(score) < 0 || int(score) >= len(terms) {
 		return nil, Stats{}, fmt.Errorf("core: score term T%d out of range (have %d terms)", int(score), len(terms))
 	}
 	var st Stats
-	type gcand struct {
-		key    int64
-		ids    []int64
-		lo, hi float64
-		known  []bool
-		exact  []int64
+	cands := gcandSkeletons(groups, &st)
+	if w := env.Exec.workers(); w > 1 && st.Targets >= minParallelTargets {
+		return aggPar(ctx, env, cands, terms, score, agg, k, ord, w, st)
 	}
-	cands := make([]gcand, 0, len(groups))
-	for gi, g := range groups {
-		if err := CheckCtx(ctx, gi); err != nil {
-			return nil, st, err
-		}
-		if len(g.IDs) == 0 {
-			continue
-		}
-		st.Targets += len(g.IDs)
-		gc := gcand{
-			key:   g.Key,
-			ids:   g.IDs,
-			known: make([]bool, len(g.IDs)),
-			exact: make([]int64, len(g.IDs)),
-		}
-		los := make([]float64, len(g.IDs))
-		his := make([]float64, len(g.IDs))
-		for i, id := range g.IDs {
-			b := Bounds{0, unknownHi}
-			chi, err := env.chiFor(id, &st)
-			if err != nil {
+	n := 0
+	for gi := range cands {
+		gc := &cands[gi]
+		for i := range gc.ids {
+			if err := CheckCtx(ctx, n); err != nil {
 				return nil, st, err
 			}
-			if chi != nil {
-				b = terms[score].BoundsFrom(chi, id)
-				if b.Lo == b.Hi {
-					gc.known[i], gc.exact[i] = true, b.Lo
-				}
-			} else {
-				his[i] = math.Inf(1)
-			}
-			los[i] = float64(b.Lo)
-			if !math.IsInf(his[i], 1) {
-				his[i] = float64(b.Hi)
+			n++
+			if err := env.memberBound(gc, i, terms[score], &st); err != nil {
+				return nil, st, err
 			}
 		}
-		gc.lo, gc.hi = aggBounds(agg, los, his)
-		cands = append(cands, gc)
+		gc.lo, gc.hi = aggBounds(agg, gc.los, gc.his)
 	}
 	if k <= 0 || k > len(cands) {
 		k = len(cands)
 	}
-	if k < len(cands) {
-		sel := make([]float64, len(cands))
-		if ord == Desc {
-			for i, c := range cands {
-				sel[i] = c.lo
-			}
-			sort.Slice(sel, func(i, j int) bool { return sel[i] > sel[j] })
-			tau := sel[k-1]
-			kept := cands[:0]
-			for _, c := range cands {
-				if c.hi >= tau {
-					kept = append(kept, c)
-				} else {
-					st.RejectedByBounds += len(c.ids)
-				}
-			}
-			cands = kept
-		} else {
-			for i, c := range cands {
-				sel[i] = c.hi
-			}
-			sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
-			tau := sel[k-1]
-			kept := cands[:0]
-			for _, c := range cands {
-				if c.lo <= tau {
-					kept = append(kept, c)
-				} else {
-					st.RejectedByBounds += len(c.ids)
-				}
-			}
-			cands = kept
-		}
-	}
+	cands = aggPrune(cands, k, ord, &st)
 	out := make([]Scored, 0, len(cands))
-	for _, c := range cands {
-		vals := make([]float64, len(c.ids))
-		for i, id := range c.ids {
-			if c.known[i] {
+	for gi := range cands {
+		gc := &cands[gi]
+		for i, id := range gc.ids {
+			if gc.known[i] {
 				st.AcceptedByBounds++
-				vals[i] = float64(c.exact[i])
+				gc.vals[i] = float64(gc.exact[i])
 				continue
 			}
 			ev, err := env.verify(id, terms, &st)
 			if err != nil {
 				return nil, st, err
 			}
-			vals[i] = float64(ev[score])
+			gc.vals[i] = float64(ev[score])
 		}
-		out = append(out, Scored{ID: c.key, Score: AggExact(agg, vals)})
+		out = append(out, Scored{ID: gc.key, Score: AggExact(agg, gc.vals)})
 	}
 	SortScored(out, ord)
 	if k < len(out) {

@@ -44,16 +44,34 @@ type Manifest struct {
 	NumMasks int  `json:"num_masks"`
 }
 
-// Store reads masks from a database directory.
+// Store reads masks from a database directory. Masks are served
+// byte-backed (core.Mask.Bytes): the stored uint8 pixels are read
+// straight into the mask buffer with no per-pixel float conversion,
+// and ReleaseMask recycles those buffers through a sync.Pool so a
+// steady verification stream allocates nothing. All methods are safe
+// for concurrent use; the parallel engine loads from many goroutines.
 type Store struct {
 	dir      string
 	f        *os.File
 	w, h     int
 	numMasks int
 
+	// maskPool recycles whole-mask buffers between LoadMask and
+	// ReleaseMask. Pooled masks always have len(Bytes) == w*h.
+	maskPool sync.Pool
+
 	statsMu sync.Mutex
 	stats   ReadStats
-	thr     Throttle
+	// lifetime accumulates the same counters but is never reset, so
+	// callers that bracket code which resets stats internally (e.g.
+	// msbench sampling around a report) still get true totals.
+	lifetime ReadStats
+	thr      Throttle
+	// thrFree is the simulated disk's next-available time: concurrent
+	// readers reserve back-to-back slots on one timeline so the
+	// aggregate bandwidth stays at BytesPerSec no matter how many
+	// engine workers read at once.
+	thrFree time.Time
 }
 
 // Open opens a database directory created by Generate and returns the
@@ -97,10 +115,12 @@ func (s *Store) Close() error { return s.f.Close() }
 func (s *Store) SetThrottle(t Throttle) {
 	s.statsMu.Lock()
 	s.thr = t
+	s.thrFree = time.Time{}
 	s.statsMu.Unlock()
 }
 
-// ResetStats zeroes the read counters.
+// ResetStats zeroes the resettable read counters (LifetimeStats is
+// unaffected).
 func (s *Store) ResetStats() {
 	s.statsMu.Lock()
 	s.stats = ReadStats{}
@@ -114,16 +134,39 @@ func (s *Store) Stats() ReadStats {
 	return s.stats
 }
 
-// account records a read and applies the throttle outside the lock.
+// LifetimeStats returns the read counters accumulated since Open,
+// ignoring every ResetStats.
+func (s *Store) LifetimeStats() ReadStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lifetime
+}
+
+// account records a read and applies the throttle. Each read reserves
+// a slot on the shared disk timeline under the lock and sleeps out its
+// own wait outside it, so W concurrent readers still see BytesPerSec
+// in aggregate rather than W times it.
 func (s *Store) account(masks, regions, bytes int64) {
 	s.statsMu.Lock()
 	s.stats.MasksLoaded += masks
 	s.stats.RegionReads += regions
 	s.stats.BytesRead += bytes
-	thr := s.thr
+	s.lifetime.MasksLoaded += masks
+	s.lifetime.RegionReads += regions
+	s.lifetime.BytesRead += bytes
+	var wait time.Duration
+	if s.thr.BytesPerSec > 0 && bytes > 0 {
+		d := time.Duration(float64(bytes) / s.thr.BytesPerSec * float64(time.Second))
+		now := time.Now()
+		if s.thrFree.Before(now) {
+			s.thrFree = now
+		}
+		s.thrFree = s.thrFree.Add(d)
+		wait = s.thrFree.Sub(now)
+	}
 	s.statsMu.Unlock()
-	if thr.BytesPerSec > 0 && bytes > 0 {
-		time.Sleep(time.Duration(float64(bytes) / thr.BytesPerSec * float64(time.Second)))
+	if wait > 0 {
+		time.Sleep(wait)
 	}
 }
 
@@ -134,28 +177,46 @@ func (s *Store) checkID(id int64) error {
 	return nil
 }
 
-// LoadMask reads one full mask from disk.
+// LoadMask reads one full mask from disk into a byte-backed mask,
+// reusing a pooled buffer when one is available.
 func (s *Store) LoadMask(id int64) (*core.Mask, error) {
 	if err := s.checkID(id); err != nil {
 		return nil, err
 	}
 	n := s.w * s.h
-	buf := make([]byte, n)
-	if _, err := s.f.ReadAt(buf, (id-1)*int64(n)); err != nil {
-		return nil, fmt.Errorf("store: read mask %d: %w", id, err)
+	m, _ := s.maskPool.Get().(*core.Mask)
+	if m == nil {
+		m = core.NewByteMask(s.w, s.h)
 	}
-	m := core.NewMask(s.w, s.h)
-	for i, b := range buf {
-		m.Pix[i] = float32(b) / 255
+	if _, err := s.f.ReadAt(m.Bytes, (id-1)*int64(n)); err != nil {
+		s.maskPool.Put(m)
+		return nil, fmt.Errorf("store: read mask %d: %w", id, err)
 	}
 	s.account(1, 0, int64(n))
 	return m, nil
 }
 
+// ReleaseMask returns a mask obtained from LoadMask to the buffer
+// pool. The engine calls it once verification is done with a mask;
+// callers that hand masks to user code (or that are unsure of the
+// mask's provenance) simply never call it — an unreleased mask is
+// garbage-collected as before. Masks of foreign dimensions are
+// ignored.
+func (s *Store) ReleaseMask(m *core.Mask) {
+	if m == nil || m.Bytes == nil || len(m.Bytes) != s.w*s.h || m.W != s.w || m.H != s.h {
+		return
+	}
+	m.Pix = nil
+	s.maskPool.Put(m)
+}
+
 // LoadRegion reads only the pixels of one mask inside r (clamped to
-// the mask bounds), as a standalone mask of the region's dimensions.
-// This is the access path of the ArraySlice baseline: only the
-// region's logical bytes are charged to the read stats.
+// the mask bounds), as a standalone byte-backed mask of the region's
+// dimensions. This is the access path of the ArraySlice baseline:
+// only the region's logical bytes are charged to the read stats. A
+// region spanning the full mask width is contiguous on disk and is
+// fetched with a single ReadAt; narrower regions read row by row,
+// each row landing directly in the output buffer.
 func (s *Store) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
 	if err := s.checkID(id); err != nil {
 		return nil, err
@@ -163,18 +224,25 @@ func (s *Store) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
 	r = r.Intersect(core.Rect{X0: 0, Y0: 0, X1: s.w, Y1: s.h})
 	if r.Empty() {
 		s.account(0, 1, 0)
-		return core.NewMask(0, 0), nil
+		return core.NewByteMask(0, 0), nil
 	}
 	maskOff := (id - 1) * int64(s.w) * int64(s.h)
-	out := core.NewMask(r.W(), r.H())
-	row := make([]byte, r.W())
-	for y := r.Y0; y < r.Y1; y++ {
-		off := maskOff + int64(y)*int64(s.w) + int64(r.X0)
-		if _, err := s.f.ReadAt(row, off); err != nil {
+	rw := r.W()
+	out := core.NewByteMask(rw, r.H())
+	if rw == s.w {
+		// Full-width region: one contiguous read replaces H row reads.
+		off := maskOff + int64(r.Y0)*int64(s.w)
+		if _, err := s.f.ReadAt(out.Bytes, off); err != nil {
 			return nil, fmt.Errorf("store: read mask %d region %v: %w", id, r, err)
 		}
-		for x, b := range row {
-			out.Pix[(y-r.Y0)*r.W()+x] = float32(b) / 255
+		s.account(0, 1, int64(r.Area()))
+		return out, nil
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		off := maskOff + int64(y)*int64(s.w) + int64(r.X0)
+		row := out.Bytes[(y-r.Y0)*rw : (y-r.Y0+1)*rw]
+		if _, err := s.f.ReadAt(row, off); err != nil {
+			return nil, fmt.Errorf("store: read mask %d region %v: %w", id, r, err)
 		}
 	}
 	s.account(0, 1, int64(r.Area()))

@@ -56,6 +56,11 @@ type plan struct {
 	k       int
 	order   core.Order
 	orderBy string
+
+	// ex is the execution strategy the executors run under, resolved
+	// from Options.Workers at plan time so a future per-query override
+	// (e.g. an SQL hint) only has to touch the planner.
+	ex core.Exec
 }
 
 // region resolves a parsed region spec to a RegionFn over this DB.
@@ -106,7 +111,7 @@ func cmpToPred(t core.Term, op string, num float64) core.Pred {
 
 // plan compiles a parsed statement against this DB's catalog.
 func (db *DB) plan(stmt *selectStmt) (*plan, error) {
-	p := &plan{k: stmt.limit}
+	p := &plan{k: stmt.limit, ex: db.opts.exec()}
 
 	// WHERE: split metadata conditions from CP predicates.
 	var metaDescs []string
