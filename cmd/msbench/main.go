@@ -9,17 +9,21 @@
 //	msbench -data data -exp fig7 -dataset wilds-sim
 //	msbench -data data -exp fig11 -queries 200
 //	msbench -data data -exp engine -workers 8 -json
+//	msbench -data data -exp multiquery
 //
 // Experiments: fig7 (incl. Table 2), fig8, fig9, fig10, fig11 (incl.
 // the ratio subfigures), size, ablation, sweep, engine (sequential vs
-// worker-pool comparison), all.
+// worker-pool comparison), multiquery (batched execution with the
+// shared mask cache vs independent queries), all.
 //
 // -workers sizes the engine worker pool for the figure experiments
 // (default 1, the sequential engine, so their masks-loaded/FML tables
 // stay reproducible run to run; 0 = GOMAXPROCS). The engine
 // experiment always compares the sequential engine against the pool.
 // -json additionally writes every measurement to BENCH_engine.json so
-// the performance trajectory can be tracked across commits.
+// the performance trajectory can be tracked across commits; the
+// multiquery experiment always writes its rows to
+// BENCH_multiquery.json.
 package main
 
 import (
@@ -44,7 +48,7 @@ func main() {
 
 	var (
 		dataDir = flag.String("data", "data", "directory for generated datasets")
-		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|all")
+		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|all")
 		dataset = flag.String("dataset", "both", "dataset: wilds-sim|imagenet-sim|both")
 		queries = flag.Int("queries", 0, "override query count for fig8/fig9/ablation/sweep")
 		wqs     = flag.Int("workload-queries", 0, "override workload length for fig11")
@@ -55,7 +59,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "all"}
+	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "all"}
 	if !slices.Contains(validExps, *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(validExps, ", "))
 		os.Exit(2)
@@ -102,6 +106,7 @@ func main() {
 
 	ctx := context.Background()
 	var rows []bench.EngineRow
+	var mqRows []bench.MultiQueryRow
 	run := func(name string, f func(d *bench.DatasetEnv) (fmt.Stringer, error)) {
 		for _, d := range envs {
 			log.Printf("running %s on %s", name, d.Params.Name)
@@ -115,9 +120,12 @@ func main() {
 			}
 			el := time.Since(start)
 			after := d.Store.LifetimeStats()
-			if er, ok := rep.(*bench.EngineReport); ok {
+			switch er := rep.(type) {
+			case *bench.EngineReport:
 				rows = append(rows, er.Rows...)
-			} else {
+			case *bench.MultiQueryReport:
+				mqRows = append(mqRows, er.Rows...)
+			default:
 				rows = append(rows, bench.EngineRow{
 					Exp: name, Dataset: d.Params.Name, Mode: "report", Queries: 1,
 					NsPerOp:     el.Nanoseconds(),
@@ -175,19 +183,33 @@ func main() {
 			return bench.Engine(ctx, d, *workers, cfg.NQueries, cfg.Seed)
 		})
 	}
-	if *jsonOut {
-		out := struct {
-			GeneratedAt string            `json:"generated_at"`
-			Workers     int               `json:"workers"`
-			Results     []bench.EngineRow `json:"results"`
-		}{time.Now().UTC().Format(time.RFC3339), *workers, rows}
-		b, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile("BENCH_engine.json", append(b, '\n'), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("wrote BENCH_engine.json (%d result rows)", len(rows))
+	if want("multiquery") {
+		run("multiquery", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.MultiQuery(ctx, d, cfg.NWorkloadQueries, cfg.Seed)
+		})
 	}
+	if len(mqRows) > 0 {
+		writeJSON("BENCH_multiquery.json", *workers, mqRows)
+	}
+	if *jsonOut {
+		writeJSON("BENCH_engine.json", *workers, rows)
+	}
+}
+
+// writeJSON writes one machine-readable result file with the shared
+// envelope (generation time, worker count, result rows).
+func writeJSON[T any](path string, workers int, results []T) {
+	out := struct {
+		GeneratedAt string `json:"generated_at"`
+		Workers     int    `json:"workers"`
+		Results     []T    `json:"results"`
+	}{time.Now().UTC().Format(time.RFC3339), workers, results}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d result rows)", path, len(results))
 }

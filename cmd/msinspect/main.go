@@ -41,6 +41,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	// Runs before db.Close: account every byte this inspection cost,
+	// including what the store's mask cache absorbed.
+	defer func() {
+		rs := db.ReadStats()
+		fmt.Printf("\nstore reads: %d masks, %d regions, %d bytes (cache: %d hits, %d misses, %d evicted)\n",
+			rs.MasksLoaded, rs.RegionReads, rs.BytesRead, rs.CacheHits, rs.CacheMisses, rs.CacheEvicted)
+	}()
 
 	if *maskID == 0 {
 		summarize(db)

@@ -1,10 +1,17 @@
-// Command msquery runs one SQL query against a mask database and
-// prints the results together with the filter–verification statistics.
+// Command msquery runs SQL against a mask database and prints the
+// results together with the filter–verification statistics. Several
+// statements — separate arguments and/or one argument with
+// ';'-separated statements — run as one batch through DB.QueryBatch,
+// sharing mask loads (and, with -cache-bytes, the store's mask cache)
+// across the batch.
 //
 // Usage:
 //
 //	msquery -db data/wilds-sim "SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > 2000 AND model_id = 1"
 //	msquery -db data/wilds-sim -eager-index "SELECT image_id, MEAN(CP(mask, object, 0.8, 1.0)) AS a FROM masks GROUP BY image_id ORDER BY a DESC LIMIT 25"
+//	msquery -db data/wilds-sim -cache-bytes -1 \
+//	    "SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > 2000; \
+//	     SELECT mask_id FROM masks WHERE CP(mask, object, 0.6, 1.0) > 3000"
 package main
 
 import (
@@ -28,21 +35,30 @@ func main() {
 		eager   = flag.Bool("eager-index", false, "build the full index before the query (vanilla MaskSearch)")
 		noSave  = flag.Bool("no-persist", false, "do not persist incrementally built indexes on exit")
 		maxRows = flag.Int("max-rows", 50, "print at most this many result rows")
-		explain = flag.Bool("explain", false, "print the compiled plan instead of executing")
+		explain = flag.Bool("explain", false, "print the compiled plan(s) instead of executing")
 		workers = flag.Int("workers", 0, "engine worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+		cacheB  = flag.Int64("cache-bytes", 0, "mask cache budget in bytes (0 = no cache, -1 = unbounded)")
 	)
 	flag.Parse()
-	if *dbDir == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: msquery -db DIR [flags] \"SELECT ...\"")
+	var sqls []string
+	for _, arg := range flag.Args() {
+		for _, stmt := range strings.Split(arg, ";") {
+			if strings.TrimSpace(stmt) != "" {
+				sqls = append(sqls, stmt)
+			}
+		}
+	}
+	if *dbDir == "" || len(sqls) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: msquery -db DIR [flags] \"SELECT ...\" [\"SELECT ...\" ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	sql := flag.Arg(0)
 
 	db, err := masksearch.OpenWith(*dbDir, masksearch.Options{
 		EagerIndex:          *eager,
 		PersistIndexOnClose: !*noSave,
 		Workers:             *workers,
+		CacheBytes:          *cacheB,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -54,28 +70,54 @@ func main() {
 	}()
 
 	if *explain {
-		desc, err := db.Explain(sql)
-		if err != nil {
-			log.Fatal(err)
+		for _, sql := range sqls {
+			desc, err := db.Explain(sql)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(desc)
 		}
-		fmt.Print(desc)
 		return
 	}
 
 	start := time.Now()
-	res, err := db.Query(context.Background(), sql)
-	if err != nil {
-		log.Fatal(err)
+	var results []*masksearch.Result
+	if len(sqls) == 1 {
+		res, err := db.Query(context.Background(), sqls[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = []*masksearch.Result{res}
+	} else {
+		if results, err = db.QueryBatch(context.Background(), sqls); err != nil {
+			log.Fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("plan: %s   time: %s\n", res.Kind, elapsed.Round(time.Microsecond))
+	for i, res := range results {
+		if len(results) > 1 {
+			fmt.Printf("-- statement %d --\n", i+1)
+		}
+		printResult(res, *maxRows)
+	}
+	rs := db.ReadStats()
+	fmt.Printf("total: %s   store reads: %d masks, %d regions, %d bytes",
+		elapsed.Round(time.Microsecond), rs.MasksLoaded, rs.RegionReads, rs.BytesRead)
+	if *cacheB != 0 {
+		fmt.Printf("   cache: %d hits, %d misses, %d evicted", rs.CacheHits, rs.CacheMisses, rs.CacheEvicted)
+	}
+	fmt.Println()
+}
+
+func printResult(res *masksearch.Result, maxRows int) {
+	fmt.Printf("plan: %s\n", res.Kind)
 	fmt.Printf("stats: %s\n", res.Stats)
 	switch {
 	case len(res.Ranked) > 0:
 		fmt.Printf("%d ranked results:\n", len(res.Ranked))
 		for i, r := range res.Ranked {
-			if i >= *maxRows {
+			if i >= maxRows {
 				fmt.Printf("... (%d more)\n", len(res.Ranked)-i)
 				break
 			}
@@ -85,7 +127,7 @@ func main() {
 		fmt.Printf("%d matching ids:\n", len(res.IDs))
 		var b strings.Builder
 		for i, id := range res.IDs {
-			if i >= *maxRows {
+			if i >= maxRows {
 				fmt.Fprintf(&b, "... (%d more)", len(res.IDs)-i)
 				break
 			}

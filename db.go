@@ -33,6 +33,14 @@ type Options struct {
 	// setting; only throughput (and the load counts of the Top-K
 	// verification stage) vary.
 	Workers int
+	// CacheBytes budgets the store's shared LRU mask cache: masks
+	// loaded for verification stay resident (up to this many bytes)
+	// and later queries — in particular the overlapping queries of a
+	// QueryBatch — reread them without disk traffic. 0 (the default)
+	// disables the cache, a negative value caches without bound.
+	// Results are identical under every setting; only the store's
+	// ReadStats change.
+	CacheBytes int64
 }
 
 // exec translates the Workers option into a core execution strategy.
@@ -85,6 +93,7 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 		st.Close()
 		return nil, err
 	}
+	st.SetCacheBytes(opts.CacheBytes)
 	db := &DB{dir: dir, opts: opts, st: st, cat: cat}
 	db.idx = db.loadPersistedIndex(cfg)
 	if opts.EagerIndex {
@@ -170,7 +179,13 @@ func (db *DB) Entries() []CatalogEntry { return db.cat.Entries() }
 func (db *DB) Entry(id int64) (CatalogEntry, error) { return db.cat.Entry(id) }
 
 // LoadMask reads one mask from disk (counted in the store's stats).
+// With Options.CacheBytes configured the returned mask may be shared
+// with the cache and must be treated as read-only.
 func (db *DB) LoadMask(id int64) (*Mask, error) { return db.st.LoadMask(id) }
+
+// ReadStats reports the store's read counters — disk traffic plus the
+// mask cache's hit/miss/evicted counts — accumulated since open.
+func (db *DB) ReadStats() ReadStats { return db.st.Stats() }
 
 // IndexStats reports the current index footprint.
 func (db *DB) IndexStats() (IndexStats, error) {
@@ -229,6 +244,32 @@ func (db *DB) Query(ctx context.Context, sql string) (*Result, error) {
 	return db.exec(ctx, p)
 }
 
+// QueryBatch parses, plans and executes a batch of msquery-dialect
+// statements as one scheduled workload (§4.5): the filter stages of
+// every statement run as one core.ExecBatch round and the ranking
+// stages as a second, so a mask needed by several statements is loaded
+// from the store once per round instead of once per statement (and,
+// with Options.CacheBytes set, at most once across rounds and
+// batches). Every Result is byte-identical to running its statement
+// alone through Query; per-statement stats follow the ExecBatch
+// contract. A parse or plan error anywhere fails the whole batch
+// before any statement executes.
+func (db *DB) QueryBatch(ctx context.Context, sqls []string) ([]*Result, error) {
+	plans := make([]*plan, len(sqls))
+	for i, sql := range sqls {
+		stmt, err := parseQuery(sql)
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		p, err := db.plan(stmt)
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		plans[i] = p
+	}
+	return db.execBatch(ctx, plans)
+}
+
 // exec runs a compiled plan.
 func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
 	env := db.env(p.ex)
@@ -262,16 +303,8 @@ func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
 			res.IDs = targets
 			res.Stats.Targets = len(targets)
 		} else if p.k > 0 {
-			// LIMIT with no ordering: scan in chunks and stop as soon
-			// as enough masks matched, skipping the tail's disk reads.
-			chunk := max(256, 4*p.k)
-			for off := 0; off < len(targets) && len(res.IDs) < p.k; off += chunk {
-				ids, st, err := core.Filter(ctx, env, targets[off:min(off+chunk, len(targets))], p.filterTerms, p.pred)
-				if err != nil {
-					return nil, err
-				}
-				res.Stats.Merge(st)
-				res.IDs = append(res.IDs, ids...)
+			if err := db.filterLimited(ctx, env, p, targets, res); err != nil {
+				return nil, err
 			}
 		} else {
 			ids, st, err := core.Filter(ctx, env, targets, p.filterTerms, p.pred)
@@ -308,6 +341,26 @@ func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
 		res.Stats.Targets = nConsidered
 	}
 	return res, nil
+}
+
+// filterLimited answers a LIMIT'd filter plan by scanning targets in
+// chunks and stopping as soon as enough masks matched, skipping the
+// tail's disk reads. Shared by exec and execBatch so both paths keep
+// the early exit.
+func (db *DB) filterLimited(ctx context.Context, env *core.Env, p *plan, targets []int64, res *Result) error {
+	chunk := max(256, 4*p.k)
+	for off := 0; off < len(targets) && len(res.IDs) < p.k; off += chunk {
+		ids, st, err := core.Filter(ctx, env, targets[off:min(off+chunk, len(targets))], p.filterTerms, p.pred)
+		if err != nil {
+			return err
+		}
+		res.Stats.Merge(st)
+		res.IDs = append(res.IDs, ids...)
+	}
+	if len(res.IDs) > p.k {
+		res.IDs = res.IDs[:p.k]
+	}
+	return nil
 }
 
 // groupTargets groups the (possibly pre-filtered) target ids by the

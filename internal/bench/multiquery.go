@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"masksearch/internal/core"
+	"masksearch/internal/store"
+	"masksearch/internal/workload"
+)
+
+// MultiQueryRow is one machine-readable measurement of the multiquery
+// experiment: the §4.5 workload run under one execution mode. The rows
+// feed BENCH_multiquery.json, the first entry of the repository's
+// performance trajectory.
+type MultiQueryRow struct {
+	Exp          string `json:"exp"`
+	Dataset      string `json:"dataset"`
+	Mode         string `json:"mode"`
+	Queries      int    `json:"queries"`
+	NsTotal      int64  `json:"ns_total"`
+	MasksLoaded  int64  `json:"masks_loaded"`
+	BytesRead    int64  `json:"bytes_read"`
+	CacheHits    int64  `json:"cache_hits"`
+	CacheMisses  int64  `json:"cache_misses"`
+	CacheEvicted int64  `json:"cache_evicted"`
+	Identical    bool   `json:"identical"`
+}
+
+// MultiQueryReport carries the rendered table plus the JSON rows.
+type MultiQueryReport struct {
+	*Report
+	Rows []MultiQueryRow
+}
+
+// batchFilterPlan converts a §4.5 filter workload into one ExecBatch
+// input (shared by the multiquery experiment and Fig11's MS-batch
+// mode, so the two always measure the same plan shape).
+func batchFilterPlan(queries []workload.FilterQuery, cat *store.Catalog) []core.BatchQuery {
+	bqs := make([]core.BatchQuery, len(queries))
+	for i, q := range queries {
+		bqs[i] = core.BatchQuery{Kind: core.BatchFilter, Targets: q.Targets, Terms: q.Terms(cat), Pred: q.Pred()}
+	}
+	return bqs
+}
+
+// execBatchIDs runs a filter batch and returns the per-query id lists.
+func execBatchIDs(ctx context.Context, env *core.Env, bqs []core.BatchQuery) ([][]int64, error) {
+	rs, err := core.ExecBatch(ctx, env, bqs)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([][]int64, len(rs))
+	for i := range rs {
+		outs[i] = rs[i].IDs
+	}
+	return outs, nil
+}
+
+// MultiQuery benchmarks the batched multi-query path against the n×
+// independent-execution baseline on one §4.5 workload (p_seen = 0.5):
+//
+//	independent  — each query runs alone through core.Filter, rereading
+//	               every verified mask from disk (the n× baseline)
+//	batch        — core.ExecBatch, no cache: shared loads within the
+//	               batch only
+//	batch-cached — core.ExecBatch against a cold unbounded mask cache
+//	batch-warm   — the same batch again with the cache warm: every
+//	               verification is a cache hit, zero disk loads
+//
+// Every mode's results are checked byte-identical to the independent
+// baseline, and the batched modes must load strictly fewer masks than
+// the baseline — the experiment fails otherwise, so a regression in
+// load sharing cannot ship silently.
+func MultiQuery(ctx context.Context, d *DatasetEnv, n int, seed int64) (*MultiQueryReport, error) {
+	queries := workload.MultiQuery(rand.New(rand.NewSource(seed)), d.Cat,
+		d.Params.W, d.Params.H, n, 0.5)
+	idx, err := d.Index(d.SmallConfig())
+	if err != nil {
+		return nil, err
+	}
+	env := d.Env(idx)
+	defer d.Store.SetCacheBytes(0)
+
+	rep := &MultiQueryReport{Report: NewReport(fmt.Sprintf(
+		"Multiquery — batched execution vs %d independent queries on %s (p_seen=0.5)", n, d.Params.Name))}
+	rep.Printf("%-14s %12s %10s %12s %10s %10s %10s\n",
+		"mode", "total", "masks", "bytes", "hits", "misses", "evicted")
+
+	bqs := batchFilterPlan(queries, d.Cat)
+
+	var ref [][]int64
+	measure := func(mode string, cacheBytes int64, resetCache bool, run func() ([][]int64, error)) (store.ReadStats, error) {
+		if resetCache {
+			d.Store.SetCacheBytes(cacheBytes)
+		}
+		d.Store.ResetStats()
+		start := time.Now()
+		outs, err := run()
+		if err != nil {
+			return store.ReadStats{}, fmt.Errorf("bench: multiquery %s: %w", mode, err)
+		}
+		el := time.Since(start)
+		rs := d.Store.Stats()
+		identical := ref == nil
+		if ref == nil {
+			ref = outs
+		} else {
+			identical = true
+			for i := range outs {
+				if !equalIDs(outs[i], ref[i]) {
+					identical = false
+					break
+				}
+			}
+			if !identical {
+				return rs, fmt.Errorf("bench: multiquery %s: results differ from independent execution", mode)
+			}
+		}
+		rep.Rows = append(rep.Rows, MultiQueryRow{
+			Exp: "multiquery", Dataset: d.Params.Name, Mode: mode, Queries: n,
+			NsTotal: el.Nanoseconds(), MasksLoaded: rs.MasksLoaded, BytesRead: rs.BytesRead,
+			CacheHits: rs.CacheHits, CacheMisses: rs.CacheMisses, CacheEvicted: rs.CacheEvicted,
+			Identical: identical,
+		})
+		rep.Printf("%-14s %12s %10d %12d %10d %10d %10d\n",
+			mode, el.Round(time.Microsecond), rs.MasksLoaded, rs.BytesRead,
+			rs.CacheHits, rs.CacheMisses, rs.CacheEvicted)
+		return rs, nil
+	}
+
+	independent, err := measure("independent", 0, true, func() ([][]int64, error) {
+		outs := make([][]int64, len(queries))
+		for i, q := range queries {
+			out, _, err := core.Filter(ctx, env, q.Targets, q.Terms(d.Cat), q.Pred())
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = out
+		}
+		return outs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runBatch := func() ([][]int64, error) { return execBatchIDs(ctx, env, bqs) }
+	batch, err := measure("batch", 0, true, runBatch)
+	if err != nil {
+		return nil, err
+	}
+	cached, err := measure("batch-cached", -1, true, runBatch)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := measure("batch-warm", -1, false, runBatch)
+	if err != nil {
+		return nil, err
+	}
+
+	if independent.MasksLoaded > 0 {
+		for mode, rs := range map[string]store.ReadStats{"batch": batch, "batch-cached": cached, "batch-warm": warm} {
+			if rs.MasksLoaded >= independent.MasksLoaded {
+				return nil, fmt.Errorf("bench: multiquery %s loaded %d masks, not below the independent baseline's %d",
+					mode, rs.MasksLoaded, independent.MasksLoaded)
+			}
+		}
+	}
+	if warm.MasksLoaded != 0 {
+		return nil, fmt.Errorf("bench: multiquery batch-warm loaded %d masks from disk, want 0 (all cache hits)",
+			warm.MasksLoaded)
+	}
+	rep.Printf("load sharing: independent/batch = %.2fx, warm batch serves %d verifications from cache\n",
+		float64(independent.MasksLoaded)/float64(max(1, batch.MasksLoaded)), warm.CacheHits)
+	return rep, nil
+}

@@ -206,62 +206,97 @@ func Fig10(d *DatasetEnv, n int, seed int64) (*Report, error) {
 	return r, nil
 }
 
-// Fig11 runs one multi-query workload (p_seen = 0.5) under the three
-// execution modes and reports the paper's ratio subfigures.
+// Fig11 runs one multi-query workload (p_seen = 0.5) under the
+// paper's execution modes plus the batched engine, reporting the ratio
+// subfigures. Every MaskSearch mode must return the same ids per
+// query; the batch mode (ExecBatch over a shared unbounded mask cache)
+// is additionally cross-checked against MS-prebuilt row by row.
 func Fig11(ctx context.Context, d *DatasetEnv, n int, seed int64) (*Report, error) {
 	queries := workload.MultiQuery(rand.New(rand.NewSource(seed)), d.Cat,
 		d.Params.W, d.Params.H, n, 0.5)
 	r := NewReport(fmt.Sprintf("Figure 11 — %d-query workload on %s (p_seen=0.5)", n, d.Params.Name))
-	r.Printf("%-16s %12s %12s\n", "mode", "total", "masks")
+	r.Printf("%-16s %12s %12s %12s\n", "mode", "total", "masks", "cache hits")
 
-	runAll := func(env *core.Env) (int64, error) {
-		d.Store.ResetStats()
-		for _, q := range queries {
-			if _, _, err := core.Filter(ctx, env, q.Targets, q.Terms(d.Cat), q.Pred()); err != nil {
-				return 0, err
-			}
-		}
-		return d.Store.Stats().MasksLoaded, nil
-	}
-
-	times := map[string]time.Duration{}
-	// MS: index prebuilt before the workload arrives.
 	idx, err := d.Index(d.SmallConfig())
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	masks, err := runAll(d.Env(idx))
-	if err != nil {
-		return nil, err
-	}
-	times["MS-prebuilt"] = time.Since(start)
-	r.Printf("%-16s %12s %12d\n", "MS-prebuilt", times["MS-prebuilt"].Round(time.Microsecond), masks)
-
-	// MS-II: cold start, index built incrementally from verified masks.
 	inc := core.NewMemoryIndex(d.SmallConfig())
-	start = time.Now()
-	masks, err = runAll(&core.Env{Loader: d.Store, Index: inc, OnVerify: inc.Observe, Exec: d.Exec})
-	if err != nil {
-		return nil, err
-	}
-	times["MS-incremental"] = time.Since(start)
-	r.Printf("%-16s %12s %12d\n", "MS-incremental", times["MS-incremental"].Round(time.Microsecond), masks)
+	fullScan := baseline.NewFullScan(d.Store)
+	defer d.Store.SetCacheBytes(0)
 
-	// NumPy: the FullScan baseline.
-	e := baseline.NewFullScan(d.Store)
-	d.Store.ResetStats()
-	start = time.Now()
-	for _, q := range queries {
-		if _, _, err := e.Filter(ctx, q.Targets, q.Terms(d.Cat), q.Pred()); err != nil {
-			return nil, err
-		}
+	var ref [][]int64
+	times := map[string]time.Duration{}
+	modes := []struct {
+		name       string
+		cacheBytes int64
+		run        func(env *core.Env) ([][]int64, error)
+		env        *core.Env
+	}{
+		// MS: index prebuilt before the workload arrives.
+		{"MS-prebuilt", 0, nil, d.Env(idx)},
+		// MS-II: cold start, index built incrementally from verified
+		// masks.
+		{"MS-incremental", 0, nil,
+			&core.Env{Loader: d.Store, Index: inc, OnVerify: inc.Observe, Exec: d.Exec}},
+		// MS-batch: the whole workload scheduled as one ExecBatch over
+		// a shared mask cache, each distinct mask loaded at most once.
+		{"MS-batch", -1, func(env *core.Env) ([][]int64, error) {
+			return execBatchIDs(ctx, env, batchFilterPlan(queries, d.Cat))
+		}, d.Env(idx)},
+		// NumPy: the FullScan baseline.
+		{"NumPy", 0, func(*core.Env) ([][]int64, error) {
+			outs := make([][]int64, len(queries))
+			for i, q := range queries {
+				out, _, err := fullScan.Filter(ctx, q.Targets, q.Terms(d.Cat), q.Pred())
+				if err != nil {
+					return nil, err
+				}
+				outs[i] = out
+			}
+			return outs, nil
+		}, nil},
 	}
-	times["NumPy"] = time.Since(start)
-	r.Printf("%-16s %12s %12d\n", "NumPy", times["NumPy"].Round(time.Microsecond), d.Store.Stats().MasksLoaded)
+	for _, mode := range modes {
+		run := mode.run
+		if run == nil {
+			run = func(env *core.Env) ([][]int64, error) {
+				outs := make([][]int64, len(queries))
+				for i, q := range queries {
+					out, _, err := core.Filter(ctx, env, q.Targets, q.Terms(d.Cat), q.Pred())
+					if err != nil {
+						return nil, err
+					}
+					outs[i] = out
+				}
+				return outs, nil
+			}
+		}
+		d.Store.SetCacheBytes(mode.cacheBytes)
+		d.Store.ResetStats()
+		start := time.Now()
+		outs, err := run(mode.env)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig11 %s: %w", mode.name, err)
+		}
+		times[mode.name] = time.Since(start)
+		rs := d.Store.Stats()
+		if ref == nil {
+			ref = outs
+		} else {
+			for i := range outs {
+				if !equalIDs(outs[i], ref[i]) {
+					return nil, fmt.Errorf("bench: fig11 %s: query %d disagrees with MS-prebuilt", mode.name, i)
+				}
+			}
+		}
+		r.Printf("%-16s %12s %12d %12d\n", mode.name,
+			times[mode.name].Round(time.Microsecond), rs.MasksLoaded, rs.CacheHits)
+	}
 
 	r.Printf("speedup NumPy/MS-prebuilt    = %.2fx\n", ratio(times["NumPy"], times["MS-prebuilt"]))
 	r.Printf("speedup NumPy/MS-incremental = %.2fx\n", ratio(times["NumPy"], times["MS-incremental"]))
+	r.Printf("speedup NumPy/MS-batch       = %.2fx\n", ratio(times["NumPy"], times["MS-batch"]))
 	return r, nil
 }
 

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// BatchKind selects the executor a BatchQuery runs through.
+type BatchKind int
+
+const (
+	BatchFilter BatchKind = iota
+	BatchTopK
+	BatchAgg
+)
+
+func (k BatchKind) String() string {
+	switch k {
+	case BatchFilter:
+		return "filter"
+	case BatchTopK:
+		return "topk"
+	case BatchAgg:
+		return "aggregation"
+	}
+	return "?"
+}
+
+// BatchQuery is one query of an ExecBatch workload, the union of the
+// three executors' inputs. Targets feeds BatchFilter and BatchTopK;
+// Groups feeds BatchAgg. K <= 0 means "all" for the ranking kinds,
+// matching TopK and AggTopK.
+type BatchQuery struct {
+	Kind    BatchKind
+	Targets []int64
+	Groups  []Group
+	Terms   []CPTerm
+	Pred    Pred  // BatchFilter; nil means "always true"
+	Score   Term  // BatchTopK, BatchAgg
+	Agg     Agg   // BatchAgg
+	K       int   // BatchTopK, BatchAgg
+	Order   Order // BatchTopK, BatchAgg
+}
+
+// BatchResult is the answer to one BatchQuery: IDs for BatchFilter,
+// Ranked for the ranking kinds, plus the query's own pipeline stats.
+type BatchResult struct {
+	IDs    []int64
+	Ranked []Scored
+	Stats  Stats
+}
+
+// bqState carries one query through the batch pipeline.
+type bqState struct {
+	q    BatchQuery
+	pred Pred
+	st   Stats
+	// BatchFilter: per-target outcome and which targets the bounds
+	// could not decide.
+	keep  []bool
+	undec []bool
+	// BatchTopK.
+	k     int
+	cands []tkCand
+	tt    *tauTracker
+	// BatchAgg: candidate groups plus the flat (group, member) list
+	// the bounds stage fans out over.
+	gcands []gcand
+	pairs  [][2]int
+}
+
+// consumer is one query's interest in one mask load: qi names the
+// query; for BatchFilter a is the target index, for BatchTopK the
+// candidate index, and for BatchAgg (a, b) is (group, member).
+type consumer struct {
+	qi, a, b int
+}
+
+// ExecBatch executes a multi-query workload (§4.5) as one scheduled
+// batch. It first resolves every query's bounds stage from the index,
+// then groups the surviving verification work by mask: each distinct
+// mask the batch needs is loaded from the store once and fanned out to
+// every interested query, instead of once per query. Loads and bounds
+// work run on env.Exec's worker pool.
+//
+// Results are byte-identical to running each query alone through
+// Filter, TopK and AggTopK — bounds decisions are per query and exact
+// evaluation of a shared mask returns the same values as a private
+// load. Per-query Stats match the standalone sequential engine for
+// BatchFilter and BatchAgg; BatchTopK additionally refines each
+// query's τ as exact scores land (like the parallel engine), so its
+// verification stage may skip masks the standalone engine loads, with
+// Loaded + RejectedByBounds conserved. Stats.Loaded counts the masks a
+// query evaluated exactly, whether or not the physical load was
+// shared; the store's ReadStats count the physical loads.
+func ExecBatch(ctx context.Context, env *Env, queries []BatchQuery) ([]BatchResult, error) {
+	states := make([]bqState, len(queries))
+	maxTerms := 1
+	type unit struct{ qi, i int }
+	var units []unit
+	for qi := range queries {
+		s := &states[qi]
+		s.q = queries[qi]
+		if len(s.q.Terms) > maxTerms {
+			maxTerms = len(s.q.Terms)
+		}
+		switch s.q.Kind {
+		case BatchFilter:
+			s.pred = s.q.Pred
+			if s.pred == nil {
+				s.pred = And{}
+			}
+			s.st.Targets = len(s.q.Targets)
+			s.keep = make([]bool, len(s.q.Targets))
+			s.undec = make([]bool, len(s.q.Targets))
+			for i := range s.q.Targets {
+				units = append(units, unit{qi, i})
+			}
+		case BatchTopK:
+			if int(s.q.Score) < 0 || int(s.q.Score) >= len(s.q.Terms) {
+				return nil, fmt.Errorf("core: batch query %d: score term T%d out of range (have %d terms)",
+					qi, int(s.q.Score), len(s.q.Terms))
+			}
+			s.st.Targets = len(s.q.Targets)
+			s.cands = make([]tkCand, len(s.q.Targets))
+			for i := range s.q.Targets {
+				units = append(units, unit{qi, i})
+			}
+		case BatchAgg:
+			if int(s.q.Score) < 0 || int(s.q.Score) >= len(s.q.Terms) {
+				return nil, fmt.Errorf("core: batch query %d: score term T%d out of range (have %d terms)",
+					qi, int(s.q.Score), len(s.q.Terms))
+			}
+			s.gcands = gcandSkeletons(s.q.Groups, &s.st)
+			for gi := range s.gcands {
+				for i := range s.gcands[gi].ids {
+					s.pairs = append(s.pairs, [2]int{gi, i})
+					units = append(units, unit{qi, len(s.pairs) - 1})
+				}
+			}
+		default:
+			return nil, fmt.Errorf("core: batch query %d: unknown kind %v", qi, s.q.Kind)
+		}
+	}
+
+	workers := env.Exec.workers()
+	wstats := make([][]Stats, workers)
+	scratch := make([][]Bounds, workers)
+	for w := range workers {
+		wstats[w] = make([]Stats, len(queries))
+		scratch[w] = make([]Bounds, maxTerms)
+	}
+	mergeWorkerStats := func() {
+		for w := range wstats {
+			for qi := range wstats[w] {
+				states[qi].st.Merge(wstats[w][qi])
+			}
+			wstats[w] = make([]Stats, len(queries))
+		}
+	}
+
+	// Stage 1: every query's bounds, fanned out over the flat
+	// (query, item) work list. Decisions are per query and independent
+	// per item, so this matches each standalone bounds stage exactly.
+	err := fanOut(ctx, workers, len(units), func(w, ui int) error {
+		u := units[ui]
+		s := &states[u.qi]
+		st := &wstats[w][u.qi]
+		switch s.q.Kind {
+		case BatchFilter:
+			id := s.q.Targets[u.i]
+			decision := Unknown
+			if len(s.q.Terms) == 0 {
+				decision = True // metadata-only predicate
+			} else {
+				chi, err := env.chiFor(id, st)
+				if err != nil {
+					return err
+				}
+				if chi != nil {
+					bs := scratch[w][:len(s.q.Terms)]
+					for t, term := range s.q.Terms {
+						bs[t] = term.BoundsFrom(chi, id)
+					}
+					decision = s.pred.FromBounds(bs)
+				}
+			}
+			switch decision {
+			case True:
+				st.AcceptedByBounds++
+				s.keep[u.i] = true
+			case False:
+				st.RejectedByBounds++
+			default:
+				s.undec[u.i] = true
+			}
+		case BatchTopK:
+			c, err := env.topkBound(s.q.Targets[u.i], s.q.Terms[s.q.Score], st)
+			if err != nil {
+				return err
+			}
+			s.cands[u.i] = c
+		case BatchAgg:
+			p := s.pairs[u.i]
+			if err := env.memberBound(&s.gcands[p[0]], p[1], s.q.Terms[s.q.Score], st); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	mergeWorkerStats()
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 2 (sequential, cheap): static pruning per query, then the
+	// batch load plan — every mask still needing verification, mapped
+	// to the consumers interested in it.
+	needs := make(map[int64][]consumer)
+	addNeed := func(id int64, c consumer) { needs[id] = append(needs[id], c) }
+	for qi := range states {
+		s := &states[qi]
+		switch s.q.Kind {
+		case BatchFilter:
+			for i, u := range s.undec {
+				if u {
+					addNeed(s.q.Targets[i], consumer{qi: qi, a: i})
+				}
+			}
+		case BatchTopK:
+			s.k = s.q.K
+			if s.k <= 0 || s.k > len(s.cands) {
+				s.k = len(s.cands)
+			}
+			s.cands = topkPrune(s.cands, s.k, s.q.Order, &s.st)
+			s.tt = newTauTracker(s.k, s.q.Order)
+			for i := range s.cands {
+				if s.cands[i].known {
+					s.st.AcceptedByBounds++
+					s.tt.add(s.cands[i].score)
+				} else {
+					addNeed(s.cands[i].id, consumer{qi: qi, a: i})
+				}
+			}
+		case BatchAgg:
+			for gi := range s.gcands {
+				gc := &s.gcands[gi]
+				gc.lo, gc.hi = aggBounds(s.q.Agg, gc.los, gc.his)
+			}
+			s.k = s.q.K
+			if s.k <= 0 || s.k > len(s.gcands) {
+				s.k = len(s.gcands)
+			}
+			s.gcands = aggPrune(s.gcands, s.k, s.q.Order, &s.st)
+			for gi := range s.gcands {
+				gc := &s.gcands[gi]
+				for i := range gc.ids {
+					if !gc.known[i] {
+						addNeed(gc.ids[i], consumer{qi: qi, a: gi, b: i})
+					}
+				}
+			}
+		}
+	}
+	ids := make([]int64, 0, len(needs))
+	for id := range needs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Stage 3: shared verification. Each distinct mask is loaded once
+	// and evaluated for every consumer; a Top-K consumer whose bounds
+	// fall below its query's refined τ is skipped instead (and a mask
+	// nobody still wants is not loaded at all).
+	err = fanOut(ctx, workers, len(ids), func(w, ii int) error {
+		id := ids[ii]
+		cons := needs[id]
+		active := make([]consumer, 0, len(cons))
+		for _, c := range cons {
+			s := &states[c.qi]
+			if s.q.Kind == BatchTopK && s.tt.skip(s.cands[c.a].b) {
+				s.cands[c.a].skip = true
+				wstats[w][c.qi].RejectedByBounds++
+				continue
+			}
+			active = append(active, c)
+		}
+		if len(active) == 0 {
+			return nil
+		}
+		m, err := env.Loader.LoadMask(id)
+		if err != nil {
+			return fmt.Errorf("verify mask %d: %w", id, err)
+		}
+		for _, c := range active {
+			s := &states[c.qi]
+			wstats[w][c.qi].Loaded++
+			vals := make([]int64, len(s.q.Terms))
+			for ti, t := range s.q.Terms {
+				vals[ti] = t.Eval(id, m)
+			}
+			switch s.q.Kind {
+			case BatchFilter:
+				s.keep[c.a] = s.pred.Eval(vals)
+			case BatchTopK:
+				s.cands[c.a].score = vals[s.q.Score]
+				s.tt.add(s.cands[c.a].score)
+			case BatchAgg:
+				s.gcands[c.a].vals[c.b] = float64(vals[s.q.Score])
+			}
+		}
+		if env.OnVerify != nil {
+			env.OnVerify(id, m)
+		}
+		if r, ok := env.Loader.(MaskRecycler); ok {
+			r.ReleaseMask(m)
+		}
+		return nil
+	})
+	mergeWorkerStats()
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4 (sequential): assemble each query's result exactly as
+	// its standalone executor would.
+	out := make([]BatchResult, len(queries))
+	for qi := range states {
+		s := &states[qi]
+		res := &out[qi]
+		switch s.q.Kind {
+		case BatchFilter:
+			for i, id := range s.q.Targets {
+				if s.keep[i] {
+					res.IDs = append(res.IDs, id)
+				}
+			}
+		case BatchTopK:
+			ranked := make([]Scored, 0, len(s.cands))
+			for i := range s.cands {
+				if s.cands[i].skip {
+					continue
+				}
+				ranked = append(ranked, Scored{ID: s.cands[i].id, Score: float64(s.cands[i].score)})
+			}
+			SortScored(ranked, s.q.Order)
+			if s.k < len(ranked) {
+				ranked = ranked[:s.k]
+			}
+			res.Ranked = ranked
+		case BatchAgg:
+			ranked := make([]Scored, 0, len(s.gcands))
+			for gi := range s.gcands {
+				gc := &s.gcands[gi]
+				for i := range gc.ids {
+					if gc.known[i] {
+						s.st.AcceptedByBounds++
+						gc.vals[i] = float64(gc.exact[i])
+					}
+				}
+				ranked = append(ranked, Scored{ID: gc.key, Score: AggExact(s.q.Agg, gc.vals)})
+			}
+			SortScored(ranked, s.q.Order)
+			if s.k < len(ranked) {
+				ranked = ranked[:s.k]
+			}
+			res.Ranked = ranked
+		}
+		res.Stats = s.st
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomBatch draws a mixed batch of filter/topk/agg queries over the
+// fixture.
+func randomBatch(rng *rand.Rand, ids []int64, groups []Group, w, h, n int) []BatchQuery {
+	qs := make([]BatchQuery, n)
+	for i := range qs {
+		terms := []CPTerm{{Region: FixedRegion(randomROI(rng, w, h)), Range: randomVR(rng)}}
+		switch rng.Intn(3) {
+		case 0:
+			qs[i] = BatchQuery{
+				Kind: BatchFilter, Targets: ids, Terms: terms,
+				Pred: Cmp{T: 0, Op: Op(rng.Intn(4)), C: int64(rng.Intn(w * h / 2))},
+			}
+		case 1:
+			qs[i] = BatchQuery{
+				Kind: BatchTopK, Targets: ids, Terms: terms,
+				K: 1 + rng.Intn(15), Order: Order(rng.Intn(2)),
+			}
+		default:
+			qs[i] = BatchQuery{
+				Kind: BatchAgg, Groups: groups, Terms: terms,
+				Agg: Agg(rng.Intn(4)), K: 1 + rng.Intn(8), Order: Order(rng.Intn(2)),
+			}
+		}
+	}
+	return qs
+}
+
+// runAlone executes one batch query through its standalone sequential
+// executor — the reference ExecBatch must reproduce byte-identically.
+func runAlone(ctx context.Context, env *Env, q BatchQuery) (BatchResult, error) {
+	switch q.Kind {
+	case BatchFilter:
+		ids, st, err := Filter(ctx, env, q.Targets, q.Terms, q.Pred)
+		return BatchResult{IDs: ids, Stats: st}, err
+	case BatchTopK:
+		ranked, st, err := TopK(ctx, env, q.Targets, q.Terms, q.Score, q.K, q.Order)
+		return BatchResult{Ranked: ranked, Stats: st}, err
+	default:
+		ranked, st, err := AggTopK(ctx, env, q.Groups, q.Terms, q.Score, q.Agg, q.K, q.Order)
+		return BatchResult{Ranked: ranked, Stats: st}, err
+	}
+}
+
+// TestExecBatchMatchesStandalone is the batch-correctness property:
+// for random mixed batches, every query's ExecBatch output is
+// byte-identical to running it alone through the sequential engine,
+// at every worker count. Filter and aggregation stats must match the
+// standalone run exactly; TopK follows the parallel-engine contract
+// (identical results, Loaded + RejectedByBounds conserved, never more
+// loads than standalone).
+func TestExecBatchMatchesStandalone(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ctx := context.Background()
+	loader, idx, ids := buildParFixture(rng, 90, 16, 16)
+	var groups []Group
+	for i := 0; i < len(ids); i += 6 {
+		groups = append(groups, Group{Key: int64(i / 6), IDs: ids[i:min(i+6, len(ids))]})
+	}
+	for iter := 0; iter < 25; iter++ {
+		qs := randomBatch(rng, ids, groups, 16, 16, 1+rng.Intn(6))
+		want := make([]BatchResult, len(qs))
+		for i, q := range qs {
+			w, err := runAlone(ctx, &Env{Loader: loader, Index: idx}, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = w
+		}
+		for _, w := range workerCounts {
+			env := &Env{Loader: loader, Index: idx, Exec: Exec{Workers: w}}
+			got, err := ExecBatch(ctx, env, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if fmt.Sprint(got[i].IDs) != fmt.Sprint(want[i].IDs) ||
+					fmt.Sprint(got[i].Ranked) != fmt.Sprint(want[i].Ranked) {
+					t.Fatalf("iter %d workers %d query %d (%v): batch results differ:\ngot  %v %v\nwant %v %v",
+						iter, w, i, qs[i].Kind, got[i].IDs, got[i].Ranked, want[i].IDs, want[i].Ranked)
+				}
+				gs, ws := got[i].Stats, want[i].Stats
+				if qs[i].Kind == BatchTopK {
+					if gs.Targets != ws.Targets || gs.IndexHits != ws.IndexHits ||
+						gs.AcceptedByBounds != ws.AcceptedByBounds {
+						t.Fatalf("iter %d workers %d query %d: deterministic topk stats differ: %v vs %v",
+							iter, w, i, gs, ws)
+					}
+					if gs.Loaded+gs.RejectedByBounds != ws.Loaded+ws.RejectedByBounds || gs.Loaded > ws.Loaded {
+						t.Fatalf("iter %d workers %d query %d: topk verification not conserved: %v vs %v",
+							iter, w, i, gs, ws)
+					}
+				} else if gs != ws {
+					t.Fatalf("iter %d workers %d query %d (%v): stats differ: %v vs %v",
+						iter, w, i, qs[i].Kind, gs, ws)
+				}
+			}
+		}
+	}
+}
+
+// countingLoader tracks distinct mask loads for the shared-load
+// assertions.
+type countingLoader struct {
+	syncLoader
+	perID map[int64]int
+}
+
+func (l *countingLoader) LoadMask(id int64) (*Mask, error) {
+	m, err := l.syncLoader.LoadMask(id)
+	if err == nil {
+		l.mu.Lock()
+		l.perID[id]++
+		l.mu.Unlock()
+	}
+	return m, err
+}
+
+// TestExecBatchSharesLoads pins the whole point of the batch engine:
+// without an index every target is verified, and a batch of n
+// overlapping filter queries loads each distinct mask exactly once —
+// while the per-query stats still bill every query for its own
+// verifications.
+func TestExecBatchSharesLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base, _, ids := buildParFixture(rng, 40, 8, 8)
+	loader := &countingLoader{syncLoader: syncLoader{masks: base.masks}, perID: map[int64]int{}}
+	terms := func() []CPTerm {
+		return []CPTerm{{Region: FixedRegion(Rect{0, 0, 8, 8}), Range: ValueRange{Lo: 0.3, Hi: 1.0}}}
+	}
+	const nq = 5
+	qs := make([]BatchQuery, nq)
+	for i := range qs {
+		// Overlapping suffixes of the id space: mask ids[39] is wanted
+		// by all five queries, ids[0] only by the first.
+		qs[i] = BatchQuery{Kind: BatchFilter, Targets: ids[i*8:], Terms: terms(),
+			Pred: Cmp{T: 0, Op: OpGt, C: int64(10 + i)}}
+	}
+	for _, w := range workerCounts {
+		loader.perID = map[int64]int{}
+		env := &Env{Loader: loader, Exec: Exec{Workers: w}}
+		got, err := ExecBatch(context.Background(), env, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(loader.perID) != len(ids) {
+			t.Fatalf("workers %d: loaded %d distinct masks, want %d", w, len(loader.perID), len(ids))
+		}
+		for id, n := range loader.perID {
+			if n != 1 {
+				t.Fatalf("workers %d: mask %d loaded %d times, want exactly once", w, id, n)
+			}
+		}
+		var billed int
+		for i := range got {
+			if got[i].Stats.Loaded != len(qs[i].Targets) {
+				t.Fatalf("workers %d: query %d billed %d loads, want %d (all targets verified)",
+					w, i, got[i].Stats.Loaded, len(qs[i].Targets))
+			}
+			billed += got[i].Stats.Loaded
+		}
+		if billed <= len(ids) {
+			t.Fatalf("workers %d: batch billed %d query loads over %d physical loads — no sharing happened",
+				w, billed, len(ids))
+		}
+	}
+}
+
+// TestExecBatchErrors pins the failure paths: a missing mask, a
+// cancelled context, and an out-of-range score term all fail the
+// batch.
+func TestExecBatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	loader, idx, ids := buildParFixture(rng, 40, 8, 8)
+	terms := []CPTerm{{Region: FixedRegion(Rect{0, 0, 8, 8}), Range: ValueRange{Lo: 0.4, Hi: 0.6}}}
+	ctx := context.Background()
+
+	delete(loader.masks, ids[17])
+	env := &Env{Loader: loader, Exec: Exec{Workers: 4}}
+	if _, err := ExecBatch(ctx, env, []BatchQuery{
+		{Kind: BatchFilter, Targets: ids, Terms: terms, Pred: Cmp{T: 0, Op: OpGt, C: 3}},
+	}); err == nil {
+		t.Fatal("missing mask should fail the batch")
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	env = &Env{Loader: loader, Index: idx, Exec: Exec{Workers: 4}}
+	if _, err := ExecBatch(cctx, env, []BatchQuery{
+		{Kind: BatchFilter, Targets: ids, Terms: terms, Pred: Cmp{T: 0, Op: OpGt, C: 3}},
+	}); err == nil {
+		t.Fatal("cancelled ctx should abort the batch")
+	}
+
+	if _, err := ExecBatch(ctx, env, []BatchQuery{
+		{Kind: BatchTopK, Targets: ids, Terms: terms, Score: 3, K: 5},
+	}); err == nil {
+		t.Fatal("out-of-range score term should fail the batch")
+	}
+}
+
+// TestExecBatchEdgeCases covers the degenerate shapes: an empty batch,
+// empty targets, a metadata-only filter (no terms), and a nil
+// predicate.
+func TestExecBatchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	loader, idx, ids := buildParFixture(rng, 20, 8, 8)
+	ctx := context.Background()
+	env := &Env{Loader: loader, Index: idx, Exec: Exec{Workers: 2}}
+
+	if out, err := ExecBatch(ctx, env, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+	out, err := ExecBatch(ctx, env, []BatchQuery{
+		{Kind: BatchFilter, Targets: nil, Terms: []CPTerm{{Region: FixedRegion(Rect{0, 0, 8, 8}), Range: ValueRange{Lo: 0, Hi: 1}}}, Pred: Cmp{T: 0, Op: OpGt, C: 0}},
+		{Kind: BatchFilter, Targets: ids}, // no terms, nil pred: metadata-only, all pass
+		{Kind: BatchTopK, Targets: nil, Terms: []CPTerm{{Region: FixedRegion(Rect{0, 0, 8, 8}), Range: ValueRange{Lo: 0, Hi: 1}}}, K: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0].IDs) != 0 || out[0].Stats.Loaded != 0 {
+		t.Fatalf("empty targets: %v", out[0])
+	}
+	if len(out[1].IDs) != len(ids) || out[1].Stats.AcceptedByBounds != len(ids) || out[1].Stats.Loaded != 0 {
+		t.Fatalf("metadata-only filter: %v %v", out[1].IDs, out[1].Stats)
+	}
+	if len(out[2].Ranked) != 0 {
+		t.Fatalf("empty topk: %v", out[2])
+	}
+}

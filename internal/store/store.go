@@ -24,12 +24,22 @@ import (
 
 // ReadStats counts storage traffic since the last ResetStats.
 type ReadStats struct {
-	// MasksLoaded counts whole-mask reads.
+	// MasksLoaded counts whole-mask reads that actually hit the disk
+	// (a cache hit serves the mask without touching this counter).
 	MasksLoaded int64
 	// RegionReads counts sub-rectangle reads (the ArraySlice baseline).
 	RegionReads int64
-	// BytesRead counts logical pixel bytes served.
+	// BytesRead counts logical pixel bytes served from disk.
 	BytesRead int64
+	// CacheHits counts LoadMask calls served from the mask cache
+	// without disk traffic. Zero when no cache is configured.
+	CacheHits int64
+	// CacheMisses counts LoadMask calls that went to disk while a
+	// cache was configured (every miss is also a MasksLoaded).
+	CacheMisses int64
+	// CacheEvicted counts masks the cache dropped to stay within its
+	// byte budget.
+	CacheEvicted int64
 }
 
 // Throttle simulates a disk limited to BytesPerSec of read bandwidth;
@@ -59,6 +69,13 @@ type Store struct {
 	// maskPool recycles whole-mask buffers between LoadMask and
 	// ReleaseMask. Pooled masks always have len(Bytes) == w*h.
 	maskPool sync.Pool
+
+	// cache, when non-nil, keeps recently loaded masks resident so
+	// overlapping queries stop paying disk reads for shared masks. It
+	// sits between LoadMask/ReleaseMask and maskPool: resident masks
+	// are pinned while callers hold them, and their buffers reach the
+	// pool only on eviction. Set via SetCacheBytes.
+	cache *maskCache
 
 	statsMu sync.Mutex
 	stats   ReadStats
@@ -109,6 +126,35 @@ func (s *Store) DataBytes() int64 { return int64(s.numMasks) * int64(s.w) * int6
 
 // Close releases the underlying file.
 func (s *Store) Close() error { return s.f.Close() }
+
+// SetCacheBytes installs a byte-budgeted LRU mask cache: LoadMask
+// serves resident masks without disk traffic and an n-query batch
+// over overlapping targets pays each distinct mask at most once.
+// n == 0 removes the cache (the default: every LoadMask reads disk),
+// n < 0 caches without bound. Masks served from the cache are shared
+// between callers and must be treated as read-only. Reconfigure only
+// while no loads are in flight (normally once, right after Open);
+// masks already handed out by a previous cache stay valid and are
+// garbage-collected instead of pooled.
+func (s *Store) SetCacheBytes(n int64) {
+	if n == 0 {
+		s.cache = nil
+		return
+	}
+	s.cache = newMaskCache(n, func(m *core.Mask) {
+		m.Pix = nil
+		s.maskPool.Put(m)
+	})
+}
+
+// CacheBytes reports the configured cache budget (0: no cache, < 0:
+// unbounded).
+func (s *Store) CacheBytes() int64 {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.budget
+}
 
 // SetThrottle installs (or with the zero value removes) a simulated
 // read-bandwidth limit.
@@ -170,6 +216,19 @@ func (s *Store) account(masks, regions, bytes int64) {
 	}
 }
 
+// accountCache records cache traffic (no throttle: hits never touch
+// the simulated disk).
+func (s *Store) accountCache(hits, misses, evicted int64) {
+	s.statsMu.Lock()
+	s.stats.CacheHits += hits
+	s.stats.CacheMisses += misses
+	s.stats.CacheEvicted += evicted
+	s.lifetime.CacheHits += hits
+	s.lifetime.CacheMisses += misses
+	s.lifetime.CacheEvicted += evicted
+	s.statsMu.Unlock()
+}
+
 func (s *Store) checkID(id int64) error {
 	if id < 1 || id > int64(s.numMasks) {
 		return fmt.Errorf("store: mask id %d out of range [1, %d]", id, s.numMasks)
@@ -177,11 +236,21 @@ func (s *Store) checkID(id int64) error {
 	return nil
 }
 
-// LoadMask reads one full mask from disk into a byte-backed mask,
-// reusing a pooled buffer when one is available.
+// LoadMask returns one full mask, reading it from disk into a pooled
+// byte-backed buffer — or, with a cache configured (SetCacheBytes),
+// serving the resident copy with no disk traffic. Cached masks are
+// shared between concurrent callers and must be treated as read-only;
+// pass them back through ReleaseMask when done so the cache can evict.
 func (s *Store) LoadMask(id int64) (*core.Mask, error) {
 	if err := s.checkID(id); err != nil {
 		return nil, err
+	}
+	cache := s.cache
+	if cache != nil {
+		if m := cache.acquire(id); m != nil {
+			s.accountCache(1, 0, 0)
+			return m, nil
+		}
 	}
 	n := s.w * s.h
 	m, _ := s.maskPool.Get().(*core.Mask)
@@ -193,18 +262,33 @@ func (s *Store) LoadMask(id int64) (*core.Mask, error) {
 		return nil, fmt.Errorf("store: read mask %d: %w", id, err)
 	}
 	s.account(1, 0, int64(n))
+	if cache != nil {
+		var evicted int64
+		m, evicted = cache.insert(id, m)
+		s.accountCache(0, 1, evicted)
+	}
 	return m, nil
 }
 
 // ReleaseMask returns a mask obtained from LoadMask to the buffer
-// pool. The engine calls it once verification is done with a mask;
-// callers that hand masks to user code (or that are unsure of the
-// mask's provenance) simply never call it — an unreleased mask is
-// garbage-collected as before. Masks of foreign dimensions are
-// ignored.
+// pool — or, when the mask is cache-resident, unpins it so the cache
+// may evict it later (the buffer reaches the pool on eviction). The
+// engine calls it once verification is done with a mask; callers that
+// hand masks to user code (or that are unsure of the mask's
+// provenance) simply never call it — an unreleased mask is garbage-
+// collected as before (a bounded cache detaches held entries under
+// budget pressure rather than keeping them resident, so hoarded masks
+// cost their own bytes but never the cache's). Masks of foreign
+// dimensions are ignored.
 func (s *Store) ReleaseMask(m *core.Mask) {
 	if m == nil || m.Bytes == nil || len(m.Bytes) != s.w*s.h || m.W != s.w || m.H != s.h {
 		return
+	}
+	if cache := s.cache; cache != nil {
+		if owned, evicted := cache.unpin(m); owned {
+			s.accountCache(0, 0, evicted)
+			return
+		}
 	}
 	m.Pix = nil
 	s.maskPool.Put(m)

@@ -35,6 +35,10 @@ type ValueRange = core.ValueRange
 // CatalogEntry is the metadata row of one stored mask.
 type CatalogEntry = store.Entry
 
+// ReadStats is the store's traffic accounting: disk reads plus the
+// mask cache's hit/miss/evicted counters (see Options.CacheBytes).
+type ReadStats = store.ReadStats
+
 // Scored is one ranked query result.
 type Scored = core.Scored
 

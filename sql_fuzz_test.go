@@ -1,0 +1,64 @@
+package masksearch
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary input through the msquery lexer and parser
+// (the satellite fuzz target): parseQuery must either return a
+// statement or a positioned *ParseError — it must never panic and
+// never return an unpositioned error. The seed corpus is the golden
+// queries of sql_test.go plus its malformed cases, so the fuzzer
+// starts from every grammar production.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The golden queries (TestExplainGolden, TestQueryAgainstBruteForce).
+		`SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > 2000 AND model_id = 1`,
+		`SELECT image_id, MEAN(CP(mask, object, 0.8, 1.0)) AS a FROM masks GROUP BY image_id ORDER BY a DESC LIMIT 25`,
+		`SELECT mask_id FROM masks WHERE modified = true ORDER BY CP(mask, rect(4, 4, 28, 28), 0.6, 1.0) DESC LIMIT 10`,
+		`SELECT mask_id FROM masks WHERE mispredicted = true AND model_id != 2`,
+		`SELECT mask_id FROM masks WHERE CP(mask, object, 0.6, 1.0) > 40 AND model_id = 1`,
+		`SELECT image_id, MEAN(CP(mask, object, 0.5, 1.0)) AS a FROM masks GROUP BY image_id ORDER BY a DESC LIMIT 5`,
+		`SELECT mask_id FROM masks ORDER BY CP(mask, full, 0.5, 1.0) DESC LIMIT 0`,
+		`SELECT mask_id FROM masks LIMIT 5`,
+		`SELECT mask_id, CP(mask, full, 0.25, 0.75) AS band FROM masks ORDER BY band ASC`,
+		// Malformed shapes (TestParseErrorsGolden).
+		`DELETE FROM masks`,
+		`SELECT mask_id FORM masks`,
+		`SELECT mask_id FROM pixels`,
+		`SELECT mask_id FROM masks WHERE CP(roi, object, 0.8, 1.0) > 5`,
+		`SELECT mask_id FROM masks WHERE CP(mask, object, 0.8) > 5`,
+		`SELECT mask_id FROM masks WHERE CP(mask, blob, 0.8, 1.0) > 5`,
+		`SELECT mask_id FROM masks WHERE CP(mask, full, 0.8, 1.5) > 5`,
+		`SELECT mask_id FROM masks WHERE CP(mask, full, 0.5, 1.0) = 5`,
+		`SELECT mask_id FROM masks WHERE model_id > 1`,
+		`SELECT mask_id FROM masks LIMIT many`,
+		`SELECT mask_id FROM masks LIMIT 5 5`,
+		`SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > #`,
+		`   `,
+		"SELECT mask_id\nFROM masks WHERE bogus = 1",
+		`SELECT mask_id FROM masks WHERE rect(1,2,3`,
+		`((((`,
+		`SELECT 1.2.3 FROM masks`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := parseQuery(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("parseQuery(%q) returned a %T, want *ParseError: %v", src, err, err)
+			}
+			if pe.Line < 1 || pe.Col < 1 {
+				t.Fatalf("parseQuery(%q) returned an unpositioned error: %v", src, pe)
+			}
+			return
+		}
+		if stmt == nil || len(stmt.cols) == 0 {
+			t.Fatalf("parseQuery(%q) returned neither statement nor error", src)
+		}
+	})
+}
