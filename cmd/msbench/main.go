@@ -10,11 +10,14 @@
 //	msbench -data data -exp fig11 -queries 200
 //	msbench -data data -exp engine -workers 8 -json
 //	msbench -data data -exp multiquery
+//	msbench -data data -exp shard
 //
 // Experiments: fig7 (incl. Table 2), fig8, fig9, fig10, fig11 (incl.
 // the ratio subfigures), size, ablation, sweep, engine (sequential vs
 // worker-pool comparison), multiquery (batched execution with the
-// shared mask cache vs independent queries), all.
+// shared mask cache vs independent queries), shard (1/2/4-shard
+// storage layouts of the same logical dataset, byte-identical results
+// asserted; always writes BENCH_shard.json), all.
 //
 // -workers sizes the engine worker pool for the figure experiments
 // (default 1, the sequential engine, so their masks-loaded/FML tables
@@ -48,7 +51,7 @@ func main() {
 
 	var (
 		dataDir = flag.String("data", "data", "directory for generated datasets")
-		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|all")
+		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|all")
 		dataset = flag.String("dataset", "both", "dataset: wilds-sim|imagenet-sim|both")
 		queries = flag.Int("queries", 0, "override query count for fig8/fig9/ablation/sweep")
 		wqs     = flag.Int("workload-queries", 0, "override workload length for fig11")
@@ -59,7 +62,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "all"}
+	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "all"}
 	if !slices.Contains(validExps, *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(validExps, ", "))
 		os.Exit(2)
@@ -107,6 +110,7 @@ func main() {
 	ctx := context.Background()
 	var rows []bench.EngineRow
 	var mqRows []bench.MultiQueryRow
+	var shardRows []bench.ShardRow
 	run := func(name string, f func(d *bench.DatasetEnv) (fmt.Stringer, error)) {
 		for _, d := range envs {
 			log.Printf("running %s on %s", name, d.Params.Name)
@@ -125,6 +129,8 @@ func main() {
 				rows = append(rows, er.Rows...)
 			case *bench.MultiQueryReport:
 				mqRows = append(mqRows, er.Rows...)
+			case *bench.ShardReport:
+				shardRows = append(shardRows, er.Rows...)
 			default:
 				rows = append(rows, bench.EngineRow{
 					Exp: name, Dataset: d.Params.Name, Mode: "report", Queries: 1,
@@ -188,8 +194,22 @@ func main() {
 			return bench.MultiQuery(ctx, d, cfg.NWorkloadQueries, cfg.Seed)
 		})
 	}
+	if want("shard") {
+		// The sharded variants run under the same simulated disk as the
+		// reference store (one such disk per shard).
+		var thr store.Throttle
+		if *mibps > 0 {
+			thr = store.Throttle{BytesPerSec: *mibps * (1 << 20)}
+		}
+		run("shard", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Shard(ctx, d, *dataDir, thr, *workers, max(1, cfg.NQueries/5), cfg.Seed)
+		})
+	}
 	if len(mqRows) > 0 {
 		writeJSON("BENCH_multiquery.json", *workers, mqRows)
+	}
+	if len(shardRows) > 0 {
+		writeJSON("BENCH_shard.json", *workers, shardRows)
 	}
 	if *jsonOut {
 		writeJSON("BENCH_engine.json", *workers, rows)

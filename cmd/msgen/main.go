@@ -4,11 +4,14 @@
 //
 //	msgen -out data/wilds-sim -preset wilds-sim
 //	msgen -out /tmp/db -images 500 -models 2 -size 96 -seed 7
+//	msgen -out /tmp/db -preset wilds-sim -shards 4
 //
 // Presets reproduce the scaled stand-ins for the paper's datasets:
 // "wilds-sim" (1,500 images, 128x128 masks), "imagenet-sim" (6,000
 // images, 64x64 masks) and "tiny" (64 images, 32x32). Explicit flags
-// override preset fields.
+// override preset fields. -shards S splits the store into S
+// shard-NNN/ segments (same logical dataset, per-shard files, cache
+// arenas and stats); queries open either layout transparently.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 		size   = flag.Int("size", 0, "override: mask width and height")
 		seed   = flag.Int64("seed", 0, "override: master seed")
 		human  = flag.Bool("human-attention", false, "add one human attention map per image")
+		shards = flag.Int("shards", 1, "split the store into this many shard segments (1 = classic single-file layout)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -66,9 +70,13 @@ func main() {
 		spec.HumanAttention = true
 	}
 
-	if err := masksearch.GenerateDataset(*out, spec); err != nil {
+	if err := masksearch.GenerateShardedDataset(*out, spec, *shards); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("generated %s: %d images, %d masks of %dx%d in %s\n",
-		spec.Name, spec.Images, spec.NumMasks(), spec.W, spec.H, *out)
+	layout := "1 segment"
+	if *shards > 1 {
+		layout = fmt.Sprintf("%d shards", *shards)
+	}
+	fmt.Printf("generated %s: %d images, %d masks of %dx%d in %s (%s)\n",
+		spec.Name, spec.Images, spec.NumMasks(), spec.W, spec.H, *out, layout)
 }

@@ -42,11 +42,18 @@ func main() {
 	}
 	defer db.Close()
 	// Runs before db.Close: account every byte this inspection cost,
-	// including what the store's mask cache absorbed.
+	// including what the store's mask cache absorbed; on a sharded
+	// database, also how the traffic split across shards.
 	defer func() {
 		rs := db.ReadStats()
 		fmt.Printf("\nstore reads: %d masks, %d regions, %d bytes (cache: %d hits, %d misses, %d evicted)\n",
 			rs.MasksLoaded, rs.RegionReads, rs.BytesRead, rs.CacheHits, rs.CacheMisses, rs.CacheEvicted)
+		if db.Shards() > 1 {
+			for i, srs := range db.ShardReadStats() {
+				fmt.Printf("  shard %03d: %d masks, %d regions, %d bytes\n",
+					i, srs.MasksLoaded, srs.RegionReads, srs.BytesRead)
+			}
+		}
 	}()
 
 	if *maskID == 0 {
@@ -60,6 +67,9 @@ func main() {
 func summarize(db *masksearch.DB) {
 	entries := db.Entries()
 	fmt.Printf("masks: %d\n", len(entries))
+	if s := db.Shards(); s > 1 {
+		fmt.Printf("storage: %d shards\n", s)
+	}
 	images := map[int64]bool{}
 	models := map[int]int{}
 	types := map[int]int{}

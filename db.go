@@ -58,11 +58,14 @@ type IndexStats struct {
 	Fraction float64
 }
 
-// DB is an opened mask database.
+// DB is an opened mask database. The backing store is either a
+// single segment or a sharded directory (see GenerateShardedDataset);
+// Open detects the layout from the manifest, so queries, batching and
+// caching work identically over both.
 type DB struct {
 	dir  string
 	opts Options
-	st   *store.Store
+	st   store.MaskStore
 	cat  *store.Catalog
 	idx  *core.MemoryIndex
 
@@ -75,9 +78,11 @@ func Open(dir string) (*DB, error) {
 	return OpenWith(dir, Options{PersistIndexOnClose: true})
 }
 
-// OpenWith opens a mask database directory created by GenerateDataset.
+// OpenWith opens a mask database directory created by GenerateDataset
+// or GenerateShardedDataset (the layout is detected from the
+// manifest).
 func OpenWith(dir string, opts Options) (*DB, error) {
-	st, cat, err := store.Open(dir)
+	st, cat, err := store.OpenAny(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +153,13 @@ func (db *DB) persistIndex() error {
 		tmp.Close()
 		return err
 	}
+	// Sync before the rename: without it a crash right after Close can
+	// publish a torn chi.gob, which the next Open silently discards as
+	// unreadable — losing the index instead of failing loudly.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
@@ -184,8 +196,28 @@ func (db *DB) Entry(id int64) (CatalogEntry, error) { return db.cat.Entry(id) }
 func (db *DB) LoadMask(id int64) (*Mask, error) { return db.st.LoadMask(id) }
 
 // ReadStats reports the store's read counters — disk traffic plus the
-// mask cache's hit/miss/evicted counts — accumulated since open.
+// mask cache's hit/miss/evicted counts — accumulated since open. For
+// a sharded database these are the per-shard counters aggregated.
 func (db *DB) ReadStats() ReadStats { return db.st.Stats() }
+
+// Shards reports how many storage shards back this database (1 for a
+// single-segment layout).
+func (db *DB) Shards() int {
+	if ss, ok := db.st.(*store.ShardedStore); ok {
+		return ss.NumShards()
+	}
+	return 1
+}
+
+// ShardReadStats reports each shard's read counters since open. For a
+// single-segment database it returns one entry equal to ReadStats, so
+// callers can render the per-shard split unconditionally.
+func (db *DB) ShardReadStats() []ReadStats {
+	if ss, ok := db.st.(*store.ShardedStore); ok {
+		return ss.ShardStats()
+	}
+	return []ReadStats{db.st.Stats()}
+}
 
 // IndexStats reports the current index footprint.
 func (db *DB) IndexStats() (IndexStats, error) {
@@ -214,6 +246,17 @@ type Result struct {
 	// Ranked holds topk/aggregation results, best first. For
 	// aggregations the ID is the group key.
 	Ranked []Scored
+}
+
+// setEmpty materializes the empty result in the field matching Kind,
+// so a LIMIT 0 ranking query yields Ranked: []Scored{} rather than a
+// filter-shaped IDs slice.
+func (r *Result) setEmpty() {
+	if r.Kind == planFilter {
+		r.IDs = []int64{}
+	} else {
+		r.Ranked = []Scored{}
+	}
 }
 
 // Explain parses and plans sql, returning the compiled plan rendered
@@ -277,9 +320,11 @@ func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
 	targets := db.cat.MaskIDs(p.keep)
 	nConsidered := len(targets)
 
-	// LIMIT 0 is a valid, empty query — don't touch any mask.
+	// LIMIT 0 is a valid, empty query — don't touch any mask. The
+	// empty result must live in the field matching the plan kind: a
+	// ranking plan answers in Ranked, not IDs.
 	if p.k == 0 {
-		res.IDs = []int64{}
+		res.setEmpty()
 		return res, nil
 	}
 

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"masksearch/internal/core"
+	"masksearch/internal/store"
+	"masksearch/internal/workload"
+)
+
+// ShardRow is one machine-readable measurement of the shard
+// experiment: one query family over one shard count. The rows feed
+// BENCH_shard.json.
+type ShardRow struct {
+	Exp         string  `json:"exp"`
+	Dataset     string  `json:"dataset"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	Queries     int     `json:"queries"`
+	NsTotal     int64   `json:"ns_total"`
+	MasksLoaded int64   `json:"masks_loaded"`
+	BytesRead   int64   `json:"bytes_read"`
+	ShardMasks  []int64 `json:"shard_masks,omitempty"`
+	Identical   bool    `json:"identical"`
+}
+
+// ShardReport carries the rendered table plus the JSON rows.
+type ShardReport struct {
+	*Report
+	Rows []ShardRow
+}
+
+// shardVariant is one opened storage layout of the same logical
+// dataset.
+type shardVariant struct {
+	shards int
+	st     store.MaskStore
+	close  bool // close st when done (owned by the experiment)
+}
+
+// Shard compares 1-, 2- and 4-shard execution of the same logical
+// dataset (§ sharded layout in DESIGN.md): the 1-shard variant is the
+// DatasetEnv's own store; the sharded variants are generated (and
+// reused) next to it as <name>-s<S>, with thr — pass the same
+// throttle the reference store runs under — installed on each so a
+// simulated-disk comparison stays apples-to-apples (each shard models
+// its own disk of that bandwidth). Every family's results must be
+// byte-identical across layouts — sharding is storage-only — and each
+// sharded variant's aggregated ReadStats must equal the sum of its
+// per-shard stats; the experiment fails otherwise. The CHI index is
+// built once and shared: it depends only on mask pixels, which are
+// identical under every shard count.
+func Shard(ctx context.Context, d *DatasetEnv, dataDir string, thr store.Throttle, workers, n int, seed int64) (*ShardReport, error) {
+	if workers <= 1 {
+		workers = 0 // one worker per shard would serialize the point away
+	}
+	ex := core.ExecFor(workers)
+	idx, err := d.Index(d.SmallConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	variants := []shardVariant{{shards: 1, st: d.Store}}
+	defer func() {
+		for _, v := range variants {
+			if v.close {
+				v.st.Close()
+			}
+		}
+	}()
+	for _, s := range []int{2, 4} {
+		dir := filepath.Join(dataDir, fmt.Sprintf("%s-s%d", d.Params.Name, s))
+		man, err := store.LoadManifest(dir)
+		if err != nil || !sameSpec(man.Spec, d.Params) || len(man.Shards) != s {
+			if err := store.GenerateSharded(dir, d.Params, s); err != nil {
+				return nil, fmt.Errorf("bench: generate %d-shard %s: %w", s, d.Params.Name, err)
+			}
+		}
+		st, _, err := store.OpenSharded(dir)
+		if err != nil {
+			return nil, err
+		}
+		st.SetThrottle(thr)
+		variants = append(variants, shardVariant{shards: s, st: st, close: true})
+	}
+
+	rep := &ShardReport{Report: NewReport(fmt.Sprintf(
+		"Shard — 1/2/4-shard execution on %s (%d queries per family, %d workers)",
+		d.Params.Name, n, ex.EffectiveWorkers()))}
+	rep.Printf("%-12s %8s %12s %10s %12s %s\n", "family", "shards", "ns total", "masks", "bytes", "per-shard masks")
+
+	ids := d.Cat.MaskIDs(nil)
+	groups := d.Cat.GroupByImage(nil)
+	w, h := d.Params.W, d.Params.H
+	type family struct {
+		name string
+		run  func(env *core.Env, rng *rand.Rand) ([]core.Scored, []int64, error)
+	}
+	families := []family{
+		{"Filter", func(env *core.Env, rng *rand.Rand) ([]core.Scored, []int64, error) {
+			q := workload.RandomFilter(rng, d.Cat, w, h, ids)
+			out, _, err := core.Filter(ctx, env, q.Targets, q.Terms(d.Cat), q.Pred())
+			return nil, out, err
+		}},
+		{"TopK", func(env *core.Env, rng *rand.Rand) ([]core.Scored, []int64, error) {
+			q := workload.RandomTopK(rng, w, h, ids)
+			out, _, err := core.TopK(ctx, env, q.Targets, q.Terms(), 0, q.K, q.Order)
+			return out, nil, err
+		}},
+		{"Aggregation", func(env *core.Env, rng *rand.Rand) ([]core.Scored, []int64, error) {
+			q := workload.RandomAgg(rng, w, h, groups)
+			out, _, err := core.AggTopK(ctx, env, q.Groups, q.Terms(), 0, core.Mean, q.K, q.Order)
+			return out, nil, err
+		}},
+	}
+
+	for _, f := range families {
+		var refRanked [][]core.Scored
+		var refIDs [][]int64
+		for _, v := range variants {
+			env := &core.Env{Loader: v.st, Index: idx, Exec: ex}
+			rng := rand.New(rand.NewSource(seed))
+			v.st.ResetStats()
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				ranked, idsOut, err := f.run(env, rng)
+				if err != nil {
+					return nil, fmt.Errorf("bench: shard %s/%d: %w", f.name, v.shards, err)
+				}
+				if v.shards == 1 {
+					refRanked = append(refRanked, ranked)
+					refIDs = append(refIDs, idsOut)
+				} else if !equalIDs(idsOut, refIDs[i]) || !equalScored(ranked, refRanked[i]) {
+					return nil, fmt.Errorf("bench: shard %s query %d: %d-shard results diverge from unsharded — sharding must be storage-only",
+						f.name, i, v.shards)
+				}
+			}
+			el := time.Since(start)
+			rs := v.st.Stats()
+			row := ShardRow{
+				Exp: "shard/" + f.name, Dataset: d.Params.Name,
+				Shards: v.shards, Workers: ex.EffectiveWorkers(), Queries: n,
+				NsTotal: el.Nanoseconds(), MasksLoaded: rs.MasksLoaded, BytesRead: rs.BytesRead,
+				Identical: true,
+			}
+			if ss, ok := v.st.(*store.ShardedStore); ok {
+				var sum store.ReadStats
+				for _, srs := range ss.ShardStats() {
+					row.ShardMasks = append(row.ShardMasks, srs.MasksLoaded)
+					sum.MasksLoaded += srs.MasksLoaded
+					sum.RegionReads += srs.RegionReads
+					sum.BytesRead += srs.BytesRead
+				}
+				if sum.MasksLoaded != rs.MasksLoaded || sum.BytesRead != rs.BytesRead || sum.RegionReads != rs.RegionReads {
+					return nil, fmt.Errorf("bench: shard %s/%d: aggregated stats %+v != per-shard sum %+v",
+						f.name, v.shards, rs, sum)
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+			rep.Printf("%-12s %8d %12d %10d %12d %v\n",
+				f.name, v.shards, row.NsTotal, row.MasksLoaded, row.BytesRead, row.ShardMasks)
+		}
+	}
+	return rep, nil
+}

@@ -272,52 +272,55 @@ func ExecBatch(ctx context.Context, env *Env, queries []BatchQuery) ([]BatchResu
 	// Stage 3: shared verification. Each distinct mask is loaded once
 	// and evaluated for every consumer; a Top-K consumer whose bounds
 	// fall below its query's refined τ is skipped instead (and a mask
-	// nobody still wants is not loaded at all).
-	err = fanOut(ctx, workers, len(ids), func(w, ii int) error {
-		id := ids[ii]
-		cons := needs[id]
-		active := make([]consumer, 0, len(cons))
-		for _, c := range cons {
-			s := &states[c.qi]
-			if s.q.Kind == BatchTopK && s.tt.skip(s.cands[c.a].b) {
-				s.cands[c.a].skip = true
-				wstats[w][c.qi].RejectedByBounds++
-				continue
+	// nobody still wants is not loaded at all). On a sharded store the
+	// loads are handed out shard by shard, so each shard's file and
+	// cache arena serve their own worker slice.
+	err = fanOutLoads(ctx, env.Loader, workers, len(ids), func(ii int) int64 { return ids[ii] },
+		func(w, ii int) error {
+			id := ids[ii]
+			cons := needs[id]
+			active := make([]consumer, 0, len(cons))
+			for _, c := range cons {
+				s := &states[c.qi]
+				if s.q.Kind == BatchTopK && s.tt.skip(s.cands[c.a].b) {
+					s.cands[c.a].skip = true
+					wstats[w][c.qi].RejectedByBounds++
+					continue
+				}
+				active = append(active, c)
 			}
-			active = append(active, c)
-		}
-		if len(active) == 0 {
+			if len(active) == 0 {
+				return nil
+			}
+			m, err := env.Loader.LoadMask(id)
+			if err != nil {
+				return fmt.Errorf("verify mask %d: %w", id, err)
+			}
+			for _, c := range active {
+				s := &states[c.qi]
+				wstats[w][c.qi].Loaded++
+				vals := make([]int64, len(s.q.Terms))
+				for ti, t := range s.q.Terms {
+					vals[ti] = t.Eval(id, m)
+				}
+				switch s.q.Kind {
+				case BatchFilter:
+					s.keep[c.a] = s.pred.Eval(vals)
+				case BatchTopK:
+					s.cands[c.a].score = vals[s.q.Score]
+					s.tt.add(s.cands[c.a].score)
+				case BatchAgg:
+					s.gcands[c.a].vals[c.b] = float64(vals[s.q.Score])
+				}
+			}
+			if env.OnVerify != nil {
+				env.OnVerify(id, m)
+			}
+			if r, ok := env.Loader.(MaskRecycler); ok {
+				r.ReleaseMask(m)
+			}
 			return nil
-		}
-		m, err := env.Loader.LoadMask(id)
-		if err != nil {
-			return fmt.Errorf("verify mask %d: %w", id, err)
-		}
-		for _, c := range active {
-			s := &states[c.qi]
-			wstats[w][c.qi].Loaded++
-			vals := make([]int64, len(s.q.Terms))
-			for ti, t := range s.q.Terms {
-				vals[ti] = t.Eval(id, m)
-			}
-			switch s.q.Kind {
-			case BatchFilter:
-				s.keep[c.a] = s.pred.Eval(vals)
-			case BatchTopK:
-				s.cands[c.a].score = vals[s.q.Score]
-				s.tt.add(s.cands[c.a].score)
-			case BatchAgg:
-				s.gcands[c.a].vals[c.b] = float64(vals[s.q.Score])
-			}
-		}
-		if env.OnVerify != nil {
-			env.OnVerify(id, m)
-		}
-		if r, ok := env.Loader.(MaskRecycler); ok {
-			r.ReleaseMask(m)
-		}
-		return nil
-	})
+		})
 	mergeWorkerStats()
 	if err != nil {
 		return nil, err

@@ -113,6 +113,124 @@ func fanOut(ctx context.Context, workers, n int, fn func(worker, i int) error) e
 	return nil
 }
 
+// shardQueues partitions the work items [0, n) into per-shard index
+// queues (original order preserved within each shard) when the loader
+// is sharded. It returns nil — meaning "use the flat fanOut" — for
+// unsharded or single-shard loaders and for inputs too small to
+// matter.
+func shardQueues(loader MaskLoader, n int, idOf func(i int) int64) [][]int {
+	sl, ok := loader.(ShardedLoader)
+	if !ok || n < minParallelTargets {
+		return nil
+	}
+	s := sl.NumShards()
+	if s <= 1 {
+		return nil
+	}
+	queues := make([][]int, s)
+	for i := 0; i < n; i++ {
+		sh := sl.ShardOf(idOf(i))
+		if sh < 0 || sh >= s {
+			sh = 0
+		}
+		queues[sh] = append(queues[sh], i)
+	}
+	return queues
+}
+
+// fanOutLoads is fanOut for load-heavy stages: when the loader is
+// sharded it hands out work shard by shard (fanOutSharded) so the
+// shards' files and caches serve parallel worker slices; otherwise it
+// falls back to the flat atomic-cursor fanOut. The per-item work is
+// identical either way — only the visiting order changes — so any
+// stage whose outcome is independent per item (every bounds and
+// verification stage is: results land in caller-indexed slots) keeps
+// byte-identical results and stats.
+func fanOutLoads(ctx context.Context, loader MaskLoader, workers, n int, idOf func(i int) int64, fn func(worker, i int) error) error {
+	if workers > 1 {
+		if queues := shardQueues(loader, n, idOf); queues != nil {
+			return fanOutSharded(ctx, workers, n, queues, fn)
+		}
+	}
+	return fanOut(ctx, workers, n, fn)
+}
+
+// fanOutSharded runs fn(worker, i) for every index queued in queues,
+// giving each worker a home shard (worker w starts on shard w mod S)
+// and letting it steal chunks from the next shard once its own
+// drains. Up to min(workers, S) shards are read concurrently, and a
+// worker stays on one shard while it has work — the locality the
+// per-shard caches and file descriptors want. Error and cancellation
+// semantics match fanOut: the lowest-indexed failed worker's error is
+// returned and ctx is polled per chunk.
+func fanOutSharded(ctx context.Context, workers, n int, queues [][]int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	s := len(queues)
+	chunks := make([]int64, s)
+	for qi, q := range queues {
+		// Size chunks so each shard's queue still splits across the
+		// workers that may end up serving it.
+		chunks[qi] = int64(max(1, min(64, len(q)/(workers*2))))
+	}
+	cursors := make([]atomic.Int64, s)
+	var failed atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			home := w % s
+			for {
+				if failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				worked := false
+				for k := range s {
+					qi := (home + k) % s
+					q := queues[qi]
+					if cursors[qi].Load() >= int64(len(q)) {
+						continue
+					}
+					start := cursors[qi].Add(chunks[qi]) - chunks[qi]
+					if start >= int64(len(q)) {
+						continue
+					}
+					for i := start; i < min(start+chunks[qi], int64(len(q))); i++ {
+						if err := fn(w, q[i]); err != nil {
+							errs[w] = err
+							failed.Store(true)
+							return
+						}
+					}
+					worked = true
+					break
+				}
+				if !worked {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // addCounters folds per-worker stats into dst. Workers never set
 // Targets (the caller sets it once for the whole query), so Merge is
 // safe to reuse as-is.
@@ -133,14 +251,15 @@ func filterPar(ctx context.Context, env *Env, targets []int64, terms []CPTerm, p
 	for i := range wbs {
 		wbs[i] = make([]Bounds, len(terms))
 	}
-	err := fanOut(ctx, workers, len(targets), func(w, i int) error {
-		ok, err := env.filterTarget(targets[i], terms, pred, wbs[w], &wstats[w])
-		if err != nil {
-			return err
-		}
-		keep[i] = ok
-		return nil
-	})
+	err := fanOutLoads(ctx, env.Loader, workers, len(targets), func(i int) int64 { return targets[i] },
+		func(w, i int) error {
+			ok, err := env.filterTarget(targets[i], terms, pred, wbs[w], &wstats[w])
+			if err != nil {
+				return err
+			}
+			keep[i] = ok
+			return nil
+		})
 	addCounters(&st, wstats)
 	if err != nil {
 		return nil, st, err
@@ -273,21 +392,22 @@ func topkPar(ctx context.Context, env *Env, targets []int64, terms []CPTerm, sco
 		}
 	}
 	wstats = make([]Stats, workers)
-	err = fanOut(ctx, workers, len(unknown), func(w, ui int) error {
-		c := &cands[unknown[ui]]
-		if tt.skip(c.b) {
-			c.skip = true
-			wstats[w].RejectedByBounds++
+	err = fanOutLoads(ctx, env.Loader, workers, len(unknown), func(ui int) int64 { return cands[unknown[ui]].id },
+		func(w, ui int) error {
+			c := &cands[unknown[ui]]
+			if tt.skip(c.b) {
+				c.skip = true
+				wstats[w].RejectedByBounds++
+				return nil
+			}
+			vals, err := env.verify(c.id, terms, &wstats[w])
+			if err != nil {
+				return err
+			}
+			c.score = vals[score]
+			tt.add(c.score)
 			return nil
-		}
-		vals, err := env.verify(c.id, terms, &wstats[w])
-		if err != nil {
-			return err
-		}
-		c.score = vals[score]
-		tt.add(c.score)
-		return nil
-	})
+		})
 	addCounters(&st, wstats)
 	if err != nil {
 		return nil, st, err
@@ -343,16 +463,17 @@ func aggPar(ctx context.Context, env *Env, cands []gcand, terms []CPTerm, score 
 		}
 	}
 	wstats = make([]Stats, workers)
-	err = fanOut(ctx, workers, len(pairs), func(w, pi int) error {
-		p := pairs[pi]
-		gc := &cands[p.g]
-		ev, err := env.verify(gc.ids[p.i], terms, &wstats[w])
-		if err != nil {
-			return err
-		}
-		gc.vals[p.i] = float64(ev[score])
-		return nil
-	})
+	err = fanOutLoads(ctx, env.Loader, workers, len(pairs), func(pi int) int64 { return cands[pairs[pi].g].ids[pairs[pi].i] },
+		func(w, pi int) error {
+			p := pairs[pi]
+			gc := &cands[p.g]
+			ev, err := env.verify(gc.ids[p.i], terms, &wstats[w])
+			if err != nil {
+				return err
+			}
+			gc.vals[p.i] = float64(ev[score])
+			return nil
+		})
 	addCounters(&st, wstats)
 	if err != nil {
 		return nil, st, err
@@ -404,7 +525,8 @@ func IndexAll(ctx context.Context, loader MaskLoader, ix *MemoryIndex, ids []int
 		return nil
 	}
 	if w := ex.workers(); w > 1 && len(ids) >= minParallelTargets {
-		err := fanOut(ctx, w, len(ids), func(_, i int) error { return do(ids[i]) })
+		err := fanOutLoads(ctx, loader, w, len(ids), func(i int) int64 { return ids[i] },
+			func(_, i int) error { return do(ids[i]) })
 		return int(built.Load()), err
 	}
 	for i, id := range ids {

@@ -21,6 +21,18 @@ type MaskRecycler interface {
 	ReleaseMask(m *Mask)
 }
 
+// ShardedLoader is optionally implemented by loaders that spread
+// masks across independent storage shards (*store.ShardedStore does).
+// The parallel engine uses it to group load-heavy work by shard, so
+// each shard's file and cache arena serve a dedicated worker slice
+// instead of every worker funneling through one shard at a time.
+type ShardedLoader interface {
+	// NumShards reports the shard count (1 disables grouping).
+	NumShards() int
+	// ShardOf maps a mask id to its owning shard in [0, NumShards).
+	ShardOf(id int64) int
+}
+
 // Index resolves the CHI of a mask, returning (nil, nil) when the mask
 // is not indexed (the engine then falls back to verification). Index
 // implementations must be safe for concurrent use.

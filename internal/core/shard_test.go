@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// shardedSyncLoader wraps syncLoader with a ShardedLoader view: ids
+// are split into nShards contiguous ranges, like store.ShardedStore's
+// id routing. Loads still come from the same map, so the engines must
+// return byte-identical results whether or not the loader advertises
+// shards.
+type shardedSyncLoader struct {
+	*syncLoader
+	nShards  int
+	perShard int64
+}
+
+func (l *shardedSyncLoader) NumShards() int { return l.nShards }
+
+func (l *shardedSyncLoader) ShardOf(id int64) int {
+	s := int((id - 1) / l.perShard)
+	return min(s, l.nShards-1)
+}
+
+// TestShardedLoaderMatchesFlat pins the shard-grouped fan-out to the
+// flat engine: grouping verification work per shard must not change
+// any result, and for Filter not any stat either.
+func TestShardedLoaderMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ctx := context.Background()
+	loader, idx, ids := buildParFixture(rng, 120, 16, 16)
+	sharded := &shardedSyncLoader{syncLoader: loader, nShards: 4, perShard: 30}
+	groups := []Group{}
+	for g := 0; g < 12; g++ {
+		groups = append(groups, Group{Key: int64(g), IDs: ids[g*10 : (g+1)*10]})
+	}
+
+	for iter := 0; iter < 25; iter++ {
+		roi := randomROI(rng, 16, 16)
+		vr := randomVR(rng)
+		terms := []CPTerm{{Region: FixedRegion(roi), Range: vr}}
+		pred := Cmp{T: 0, Op: OpGt, C: int64(rng.Intn(120))}
+		k := 1 + rng.Intn(15)
+		ord := Order(rng.Intn(2))
+
+		for _, w := range []int{2, 8} {
+			flat := &Env{Loader: loader, Index: idx, Exec: Exec{Workers: w}}
+			shrd := &Env{Loader: sharded, Index: idx, Exec: Exec{Workers: w}}
+
+			wantIDs, wantSt, err := Filter(ctx, flat, ids, terms, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIDs, gotSt, err := Filter(ctx, shrd, ids, terms, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) || gotSt != wantSt {
+				t.Fatalf("iter %d workers %d: sharded filter diverged: %v/%v vs %v/%v",
+					iter, w, gotIDs, gotSt, wantIDs, wantSt)
+			}
+
+			wantTK, _, err := TopK(ctx, flat, ids, terms, 0, k, ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTK, _, err := TopK(ctx, shrd, ids, terms, 0, k, ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(gotTK) != fmt.Sprint(wantTK) {
+				t.Fatalf("iter %d workers %d: sharded topk diverged:\ngot  %v\nwant %v", iter, w, gotTK, wantTK)
+			}
+
+			wantAgg, wantASt, err := AggTopK(ctx, flat, groups, terms, 0, Mean, k, ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotAgg, gotASt, err := AggTopK(ctx, shrd, groups, terms, 0, Mean, k, ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(gotAgg) != fmt.Sprint(wantAgg) || gotASt != wantASt {
+				t.Fatalf("iter %d workers %d: sharded agg diverged", iter, w)
+			}
+		}
+	}
+}
+
+// TestFanOutShardedCoversAll checks the per-shard queue scheduler
+// itself: every queued index runs exactly once under skewed queue
+// sizes and any worker count, and an error stops the sweep.
+func TestFanOutShardedCoversAll(t *testing.T) {
+	queues := [][]int{{0, 1, 2}, {}, {3}, {4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19}}
+	n := 20
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		err := fanOutSharded(context.Background(), workers, n, queues, func(_, i int) error {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != n {
+			t.Fatalf("workers %d: ran %d distinct items, want %d", workers, len(seen), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers %d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+
+	boom := errors.New("boom")
+	err := fanOutSharded(context.Background(), 4, n, queues, func(_, i int) error {
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("fanOutSharded swallowed the worker error: %v", err)
+	}
+}
+
+// cancelLoader cancels a context after a fixed number of loads and
+// tracks outstanding (loaded but not yet released) masks, so the
+// cancellation tests can assert that every in-flight mask was handed
+// back to the loader before the executor returned.
+type cancelLoader struct {
+	inner       *syncLoader
+	cancel      context.CancelFunc
+	after       int64
+	loads       atomic.Int64
+	outstanding atomic.Int64
+}
+
+func (l *cancelLoader) LoadMask(id int64) (*Mask, error) {
+	if l.loads.Add(1) == l.after {
+		l.cancel()
+	}
+	m, err := l.inner.LoadMask(id)
+	if err == nil {
+		l.outstanding.Add(1)
+	}
+	return m, err
+}
+
+func (l *cancelLoader) ReleaseMask(*Mask) { l.outstanding.Add(-1) }
+
+// TestCancelMidVerification drives every executor into its
+// verification stage with no index (all targets must load), cancels
+// the context after a handful of loads, and requires (a) the executor
+// returns ctx.Err() without draining the remaining targets and (b)
+// zero masks remain unreleased.
+func TestCancelMidVerification(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n = 600
+	inner := &syncLoader{masks: map[int64]*Mask{}}
+	ids := make([]int64, 0, n)
+	for i := 1; i <= n; i++ {
+		inner.masks[int64(i)] = randomMask(rng, 8, 8)
+		ids = append(ids, int64(i))
+	}
+	groups := []Group{{Key: 1, IDs: ids[:n/2]}, {Key: 2, IDs: ids[n/2:]}}
+	terms := []CPTerm{{Region: FixedRegion(Rect{X1: 8, Y1: 8}), Range: ValueRange{Lo: 0.3, Hi: 1.0}}}
+	pred := Cmp{T: 0, Op: OpGt, C: 10}
+
+	runs := []struct {
+		name string
+		run  func(ctx context.Context, env *Env) error
+	}{
+		{"Filter", func(ctx context.Context, env *Env) error {
+			_, _, err := Filter(ctx, env, ids, terms, pred)
+			return err
+		}},
+		{"TopK", func(ctx context.Context, env *Env) error {
+			_, _, err := TopK(ctx, env, ids, terms, 0, 5, Desc)
+			return err
+		}},
+		{"AggTopK", func(ctx context.Context, env *Env) error {
+			_, _, err := AggTopK(ctx, env, groups, terms, 0, Mean, 1, Desc)
+			return err
+		}},
+		{"ExecBatch", func(ctx context.Context, env *Env) error {
+			_, err := ExecBatch(ctx, env, []BatchQuery{
+				{Kind: BatchFilter, Targets: ids, Terms: terms, Pred: pred},
+				{Kind: BatchTopK, Targets: ids, Terms: terms, K: 5, Order: Desc},
+			})
+			return err
+		}},
+	}
+	for _, tc := range runs {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				loader := &cancelLoader{inner: inner, cancel: cancel, after: 5}
+				env := &Env{Loader: loader, Exec: Exec{Workers: workers}}
+				err := tc.run(ctx, env)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancelled %s returned %v, want context.Canceled", tc.name, err)
+				}
+				if loads := loader.loads.Load(); loads >= int64(len(ids)) {
+					t.Fatalf("cancelled %s still performed %d loads (all %d targets)", tc.name, loads, len(ids))
+				}
+				if out := loader.outstanding.Load(); out != 0 {
+					t.Fatalf("cancelled %s left %d masks unreleased", tc.name, out)
+				}
+			})
+		}
+	}
+}

@@ -113,9 +113,19 @@ func TopK(ctx context.Context, env *Env, targets []int64, terms []CPTerm, score 
 	}
 	cands = topkPrune(cands, k, ord, &st)
 	out := make([]Scored, 0, len(cands))
+	nv := 0
 	for i := range cands {
 		c := &cands[i]
 		if !c.known {
+			// Poll here too, on a dedicated verification counter (the
+			// candidate index would skip polls whenever bounds-exact
+			// candidates land on the 256-multiples): the verification
+			// loop is where a query spends its time, so cancellation
+			// mid-verification must not wait for the loop to drain.
+			if err := CheckCtx(ctx, nv); err != nil {
+				return nil, st, err
+			}
+			nv++
 			vals, err := env.verify(c.id, terms, &st)
 			if err != nil {
 				return nil, st, err
@@ -260,6 +270,7 @@ func AggTopK(ctx context.Context, env *Env, groups []Group, terms []CPTerm, scor
 	}
 	cands = aggPrune(cands, k, ord, &st)
 	out := make([]Scored, 0, len(cands))
+	nv := 0
 	for gi := range cands {
 		gc := &cands[gi]
 		for i, id := range gc.ids {
@@ -268,6 +279,12 @@ func AggTopK(ctx context.Context, env *Env, groups []Group, terms []CPTerm, scor
 				gc.vals[i] = float64(gc.exact[i])
 				continue
 			}
+			// Poll during verification as well, so cancellation does
+			// not wait for every remaining member load.
+			if err := CheckCtx(ctx, nv); err != nil {
+				return nil, st, err
+			}
+			nv++
 			ev, err := env.verify(id, terms, &st)
 			if err != nil {
 				return nil, st, err

@@ -93,15 +93,35 @@ func TinySpec() Spec {
 	return Spec{Name: "tiny", Images: 64, Models: 2, W: 32, H: 32, Seed: 3, HumanAttention: true}
 }
 
-// Generate writes a complete database directory for spec, replacing
-// any previous contents of the three database files.
+// Generate writes a complete single-segment database directory for
+// spec, replacing any previous contents of the three database files.
 func Generate(dir string, spec Spec) error {
+	return GenerateSharded(dir, spec, 1)
+}
+
+// GenerateSharded writes a database directory for spec split into the
+// given number of shards. With shards <= 1 it produces the classic
+// single-segment layout (manifest + catalog + masks.bin at the top
+// level). With shards > 1 it splits the mask id space into contiguous,
+// near-even ranges: shard-000/ … shard-(S-1)/ each hold their own
+// masks.bin, catalog slice and segment manifest, and the top-level
+// manifest maps id ranges to shards. The logical dataset — catalog
+// rows, mask ids and every pixel — is byte-identical under every shard
+// count, so sharding is purely a storage-layout choice.
+func GenerateSharded(dir string, spec Spec, shards int) error {
 	spec = spec.withDefaults()
 	if spec.Images <= 0 || spec.W <= 0 || spec.H <= 0 {
 		return fmt.Errorf("store: invalid spec %+v", spec)
 	}
 	if spec.Name == "" {
 		spec.Name = "custom"
+	}
+	n := spec.NumMasks()
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -111,28 +131,133 @@ func Generate(dir string, spec Spec) error {
 	if err := os.Remove(filepath.Join(dir, IndexFileName)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, masksFile))
-	if err != nil {
+	// Remove leftovers of the other layout so a regenerated directory
+	// never carries both a top-level masks.bin and shard segments.
+	if stale, err := filepath.Glob(filepath.Join(dir, "shard-*")); err == nil {
+		for _, d := range stale {
+			if err := os.RemoveAll(d); err != nil {
+				return err
+			}
+		}
+	}
+	if shards > 1 {
+		for _, f := range []string{masksFile, catalogFile} {
+			if err := os.Remove(filepath.Join(dir, f)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+
+	// Near-even contiguous split: the first n%shards shards hold one
+	// extra mask.
+	counts := make([]int, shards)
+	for i := range counts {
+		counts[i] = n / shards
+		if i < n%shards {
+			counts[i]++
+		}
+	}
+
+	var (
+		f            *os.File
+		w            *bufio.Writer
+		segEntries   []Entry
+		segFirst     int64
+		si           int
+		infos        []ShardInfo
+		totalEntries int
+	)
+	segDir := func(i int) string {
+		if shards == 1 {
+			return dir
+		}
+		return filepath.Join(dir, ShardDirName(i))
+	}
+	openSeg := func(first int64) error {
+		d := segDir(si)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+		var err error
+		if f, err = os.Create(filepath.Join(d, masksFile)); err != nil {
+			return err
+		}
+		w = bufio.NewWriterSize(f, 1<<20)
+		segEntries = segEntries[:0]
+		segFirst = first
+		return nil
+	}
+	closeSeg := func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		d := segDir(si)
+		if err := writeJSON(filepath.Join(d, catalogFile), segEntries); err != nil {
+			return err
+		}
+		man := Manifest{Spec: spec, NumMasks: len(segEntries)}
+		if shards > 1 {
+			man.FirstID = segFirst
+			infos = append(infos, ShardInfo{Dir: ShardDirName(si), FirstID: segFirst, NumMasks: len(segEntries)})
+		}
+		totalEntries += len(segEntries)
+		return writeJSON(filepath.Join(d, manifestFile), man)
+	}
+	if err := openSeg(1); err != nil {
 		return err
 	}
-	defer f.Close()
-	w := bufio.NewWriterSize(f, 1<<20)
+	err := renderDataset(spec, func(e Entry, pix []byte) error {
+		if len(segEntries) == counts[si] {
+			if err := closeSeg(); err != nil {
+				return err
+			}
+			si++
+			if err := openSeg(e.MaskID); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(pix); err != nil {
+			return err
+		}
+		segEntries = append(segEntries, e)
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := closeSeg(); err != nil {
+		return err
+	}
+	if shards == 1 {
+		return nil
+	}
+	return writeJSON(filepath.Join(dir, manifestFile), Manifest{Spec: spec, NumMasks: totalEntries, Shards: infos})
+}
 
-	entries := make([]Entry, 0, spec.NumMasks())
+// ShardDirName is the directory name of shard i inside a sharded
+// database (shard-000, shard-001, …).
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// renderDataset walks spec's masks in id order (the identical order
+// for every shard count), rendering each into a reused buffer and
+// handing (entry, pixels) to emit. The entry's MaskID is assigned
+// before the call; emit must not retain pix.
+func renderDataset(spec Spec, emit func(e Entry, pix []byte) error) error {
 	buf := make([]byte, spec.W*spec.H)
 	var nextID int64 = 1
-	emit := func(e Entry, render func(rng *rand.Rand, pix []byte)) error {
+	emitMask := func(e Entry, render func(rng *rand.Rand, pix []byte)) error {
 		e.MaskID = nextID
 		nextID++
 		// One sub-seed per mask keeps every mask reproducible
 		// independently of generation order.
 		rng := rand.New(rand.NewSource(spec.Seed<<20 ^ e.MaskID))
 		render(rng, buf)
-		if _, err := w.Write(buf); err != nil {
-			return err
-		}
-		entries = append(entries, e)
-		return nil
+		return emit(e, buf)
 	}
 
 	for img := 1; img <= spec.Images; img++ {
@@ -158,7 +283,7 @@ func Generate(dir string, spec Spec) error {
 				Label: label, Pred: pred, Modified: modified, Object: obj,
 			}
 			sigma := float64(obj.W()+obj.H()) / 5
-			if err := emit(e, func(rng *rand.Rand, pix []byte) {
+			if err := emitMask(e, func(rng *rand.Rand, pix []byte) {
 				renderBlob(rng, pix, spec.W, spec.H, cx, cy, sigma, 0.75+0.25*rng.Float64())
 				if modified {
 					renderPatch(rng, pix, spec.W, spec.H)
@@ -173,20 +298,14 @@ func Generate(dir string, spec Spec) error {
 				Label: label, Pred: label, Object: obj,
 			}
 			sigma := float64(obj.W()+obj.H()) / 7
-			if err := emit(e, func(rng *rand.Rand, pix []byte) {
+			if err := emitMask(e, func(rng *rand.Rand, pix []byte) {
 				renderBlob(rng, pix, spec.W, spec.H, objCenterX, objCenterY, sigma, 1.0)
 			}); err != nil {
 				return err
 			}
 		}
 	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	if err := writeJSON(filepath.Join(dir, catalogFile), entries); err != nil {
-		return err
-	}
-	return writeJSON(filepath.Join(dir, manifestFile), Manifest{Spec: spec, NumMasks: len(entries)})
+	return nil
 }
 
 // LoadManifest reads the manifest of an existing database, if any.

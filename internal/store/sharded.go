@@ -1,0 +1,240 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"masksearch/internal/core"
+)
+
+// ShardedStore serves a sharded database directory: S shard segments,
+// each a self-contained Store over a contiguous mask-id range, behind
+// the same MaskStore surface as a single segment. Loads route to the
+// owning shard by id, so each shard's file descriptor, LRU cache arena
+// and ReadStats serve only its own traffic — concurrent readers on
+// different shards never contend on one file or one cache lock. The
+// aggregate Stats/LifetimeStats are the sums of the per-shard
+// counters (ShardStats exposes the split).
+//
+// All methods are safe for concurrent use, like Store's.
+type ShardedStore struct {
+	dir      string
+	shards   []*Store
+	firstIDs []int64 // ascending; shard i serves [firstIDs[i], firstIDs[i]+shards[i].numMasks)
+	w, h     int
+	numMasks int
+	// cacheBytes remembers the configured total budget (the per-shard
+	// arenas each get an even slice of it).
+	cacheBytes int64
+	// pool is the mask-buffer pool shared by every shard: buffers are
+	// interchangeable across same-dimension segments, so a release on
+	// one shard can serve the next load on another.
+	pool *sync.Pool
+}
+
+// OpenSharded opens a sharded database directory (a top-level
+// manifest with a shard list, as written by GenerateSharded) and
+// returns the store together with the full concatenated catalog.
+func OpenSharded(dir string) (*ShardedStore, *Catalog, error) {
+	var man Manifest
+	if err := readJSON(filepath.Join(dir, manifestFile), &man); err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if len(man.Shards) == 0 {
+		return nil, nil, fmt.Errorf("store: open %s: not a sharded database (no shard list in manifest)", dir)
+	}
+	ss := &ShardedStore{dir: dir, pool: &sync.Pool{}}
+	var entries []Entry
+	wantFirst := int64(1)
+	for _, info := range man.Shards {
+		seg, segCat, err := Open(filepath.Join(dir, info.Dir))
+		if err != nil {
+			ss.Close()
+			return nil, nil, fmt.Errorf("store: open %s: shard %s: %w", dir, info.Dir, err)
+		}
+		if seg.base+1 != info.FirstID || seg.numMasks != info.NumMasks || info.FirstID != wantFirst {
+			seg.Close()
+			ss.Close()
+			return nil, nil, fmt.Errorf("store: open %s: shard %s covers ids [%d, %d] but the manifest maps [%d, %d) starting at %d — regenerate the dataset",
+				dir, info.Dir, seg.base+1, seg.base+int64(seg.numMasks), info.FirstID, info.FirstID+int64(info.NumMasks), wantFirst)
+		}
+		seg.maskPool = ss.pool // one shared buffer pool across shards
+		ss.shards = append(ss.shards, seg)
+		ss.firstIDs = append(ss.firstIDs, info.FirstID)
+		ss.numMasks += seg.numMasks
+		entries = append(entries, segCat.Entries()...)
+		wantFirst = info.FirstID + int64(info.NumMasks)
+	}
+	if ss.numMasks != man.NumMasks {
+		ss.Close()
+		return nil, nil, fmt.Errorf("store: open %s: shards hold %d masks, manifest says %d", dir, ss.numMasks, man.NumMasks)
+	}
+	ss.w, ss.h = ss.shards[0].w, ss.shards[0].h
+	return ss, NewCatalog(entries), nil
+}
+
+// Dir returns the top-level database directory.
+func (ss *ShardedStore) Dir() string { return ss.dir }
+
+// NumShards returns the number of shard segments.
+func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
+
+// NumMasks returns the total number of stored masks across shards.
+func (ss *ShardedStore) NumMasks() int { return ss.numMasks }
+
+// MaskW and MaskH return the common mask dimensions.
+func (ss *ShardedStore) MaskW() int { return ss.w }
+func (ss *ShardedStore) MaskH() int { return ss.h }
+
+// DataBytes returns the total stored pixel bytes across shards.
+func (ss *ShardedStore) DataBytes() int64 {
+	return int64(ss.numMasks) * int64(ss.w) * int64(ss.h)
+}
+
+// Close releases every shard, returning the first error.
+func (ss *ShardedStore) Close() error {
+	var ferr error
+	for _, s := range ss.shards {
+		if err := s.Close(); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	return ferr
+}
+
+// ShardOf returns the index of the shard owning id. Out-of-range ids
+// map to the nearest shard; the segment's own id check rejects them.
+// It implements core.ShardedLoader, so the engine can group
+// verification work per shard.
+func (ss *ShardedStore) ShardOf(id int64) int {
+	// firstIDs is ascending: find the last shard starting at or below id.
+	i := sort.Search(len(ss.firstIDs), func(i int) bool { return ss.firstIDs[i] > id }) - 1
+	return max(0, i)
+}
+
+func (ss *ShardedStore) checkID(id int64) error {
+	if id < 1 || id > int64(ss.numMasks) {
+		return fmt.Errorf("store: mask id %d out of range [1, %d]", id, ss.numMasks)
+	}
+	return nil
+}
+
+// LoadMask reads one full mask from its owning shard (or that shard's
+// cache arena). The Store contract — pooled byte-backed buffers,
+// read-only cached masks, ReleaseMask when done — applies unchanged.
+func (ss *ShardedStore) LoadMask(id int64) (*core.Mask, error) {
+	if err := ss.checkID(id); err != nil {
+		return nil, err
+	}
+	return ss.shards[ss.ShardOf(id)].LoadMask(id)
+}
+
+// LoadRegion reads a sub-rectangle of one mask from its owning shard.
+func (ss *ShardedStore) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
+	if err := ss.checkID(id); err != nil {
+		return nil, err
+	}
+	return ss.shards[ss.ShardOf(id)].LoadRegion(id, r)
+}
+
+// ReleaseMask returns a mask obtained from LoadMask. A cache-resident
+// mask is unpinned in its owning shard's arena; any other mask goes
+// back to the shared buffer pool. The probe loops over shard caches
+// because a mask does not carry its id; S is small, so this stays
+// cheap next to the load it retires.
+func (ss *ShardedStore) ReleaseMask(m *core.Mask) {
+	if m == nil || m.Bytes == nil || len(m.Bytes) != ss.w*ss.h || m.W != ss.w || m.H != ss.h {
+		return
+	}
+	for _, s := range ss.shards {
+		if s.releaseCached(m) {
+			return
+		}
+	}
+	m.Pix = nil
+	ss.pool.Put(m)
+}
+
+// SetCacheBytes budgets the per-shard LRU cache arenas. The total
+// budget n is split evenly across shards (each arena evicts
+// independently against its slice; the first n%S shards absorb the
+// remainder), n == 0 removes every arena, and n < 0 makes each arena
+// unbounded. Per-shard arenas mean one hot shard cannot evict another
+// shard's resident masks, at the cost of not reassigning idle shards'
+// budget. Reconfigure only while no loads are in flight.
+func (ss *ShardedStore) SetCacheBytes(n int64) {
+	ss.cacheBytes = n
+	s := int64(len(ss.shards))
+	for i, seg := range ss.shards {
+		per := n
+		if n > 0 {
+			per = n / s
+			if int64(i) < n%s {
+				per++
+			}
+		}
+		seg.SetCacheBytes(per)
+	}
+}
+
+// CacheBytes reports the configured total cache budget across shards.
+func (ss *ShardedStore) CacheBytes() int64 { return ss.cacheBytes }
+
+// SetThrottle installs the simulated read-bandwidth limit on every
+// shard. Each shard models its own disk timeline — the point of
+// sharding is per-shard parallel I/O — so the aggregate simulated
+// bandwidth is S times t.BytesPerSec.
+func (ss *ShardedStore) SetThrottle(t Throttle) {
+	for _, s := range ss.shards {
+		s.SetThrottle(t)
+	}
+}
+
+// ResetStats zeroes every shard's resettable counters.
+func (ss *ShardedStore) ResetStats() {
+	for _, s := range ss.shards {
+		s.ResetStats()
+	}
+}
+
+// Stats returns the read counters since the last reset, aggregated
+// over shards (the exact sum of ShardStats).
+func (ss *ShardedStore) Stats() ReadStats {
+	var out ReadStats
+	for _, s := range ss.shards {
+		out.add(s.Stats())
+	}
+	return out
+}
+
+// LifetimeStats returns the never-reset counters aggregated over
+// shards.
+func (ss *ShardedStore) LifetimeStats() ReadStats {
+	var out ReadStats
+	for _, s := range ss.shards {
+		out.add(s.LifetimeStats())
+	}
+	return out
+}
+
+// ShardStats returns each shard's resettable read counters, indexed
+// like ShardOf. Summing them reproduces Stats exactly.
+func (ss *ShardedStore) ShardStats() []ReadStats {
+	out := make([]ReadStats, len(ss.shards))
+	for i, s := range ss.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// add accumulates o into s, field by field.
+func (s *ReadStats) add(o ReadStats) {
+	s.MasksLoaded += o.MasksLoaded
+	s.RegionReads += o.RegionReads
+	s.BytesRead += o.BytesRead
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheEvicted += o.CacheEvicted
+}

@@ -48,10 +48,53 @@ type Throttle struct {
 	BytesPerSec float64
 }
 
-// Manifest describes a generated database.
+// ShardInfo locates one shard of a sharded database inside the
+// top-level manifest.
+type ShardInfo struct {
+	// Dir is the shard directory name, relative to the database dir.
+	Dir string `json:"dir"`
+	// FirstID is the first (global) mask id stored in the shard; the
+	// shard holds the contiguous range [FirstID, FirstID+NumMasks).
+	FirstID int64 `json:"first_id"`
+	// NumMasks is the shard's mask count.
+	NumMasks int `json:"num_masks"`
+}
+
+// Manifest describes a generated database (or one segment of a
+// sharded database).
 type Manifest struct {
 	Spec     Spec `json:"spec"`
 	NumMasks int  `json:"num_masks"`
+	// FirstID is the first mask id of a sharded segment (its masks.bin
+	// holds ids [FirstID, FirstID+NumMasks) at local offsets). 0 or 1
+	// means an ordinary unsharded segment starting at id 1.
+	FirstID int64 `json:"first_id,omitempty"`
+	// Shards, when non-empty, marks a sharded database: this directory
+	// holds no masks.bin of its own, only the listed shard segments.
+	// Ranges are contiguous and ascending, covering [1, NumMasks].
+	Shards []ShardInfo `json:"shards,omitempty"`
+}
+
+// MaskStore is the read surface shared by the single-segment Store
+// and the ShardedStore: everything the DB facade and the engine need
+// to load masks, account traffic and manage the cache. Use OpenAny to
+// get the right implementation for a database directory.
+type MaskStore interface {
+	LoadMask(id int64) (*core.Mask, error)
+	LoadRegion(id int64, r core.Rect) (*core.Mask, error)
+	ReleaseMask(m *core.Mask)
+	NumMasks() int
+	MaskW() int
+	MaskH() int
+	DataBytes() int64
+	Dir() string
+	Close() error
+	SetCacheBytes(n int64)
+	CacheBytes() int64
+	SetThrottle(t Throttle)
+	ResetStats()
+	Stats() ReadStats
+	LifetimeStats() ReadStats
 }
 
 // Store reads masks from a database directory. Masks are served
@@ -65,10 +108,16 @@ type Store struct {
 	f        *os.File
 	w, h     int
 	numMasks int
+	// base offsets mask ids for sharded segments: the store serves ids
+	// (base, base+numMasks], and id i lives at offset (i-base-1)*W*H.
+	// 0 for ordinary unsharded stores.
+	base int64
 
 	// maskPool recycles whole-mask buffers between LoadMask and
-	// ReleaseMask. Pooled masks always have len(Bytes) == w*h.
-	maskPool sync.Pool
+	// ReleaseMask. Pooled masks always have len(Bytes) == w*h. It is a
+	// pointer so a ShardedStore can point every segment at one shared
+	// pool: buffers are interchangeable across same-dimension shards.
+	maskPool *sync.Pool
 
 	// cache, when non-nil, keeps recently loaded masks resident so
 	// overlapping queries stop paying disk reads for shared masks. It
@@ -91,12 +140,17 @@ type Store struct {
 	thrFree time.Time
 }
 
-// Open opens a database directory created by Generate and returns the
-// store together with its catalog.
+// Open opens a single-segment database directory created by Generate
+// (or one shard segment of a sharded database) and returns the store
+// together with its catalog. It fails on a sharded database's
+// top-level directory; use OpenAny to handle either layout.
 func Open(dir string) (*Store, *Catalog, error) {
 	var man Manifest
 	if err := readJSON(filepath.Join(dir, manifestFile), &man); err != nil {
 		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if len(man.Shards) > 0 {
+		return nil, nil, fmt.Errorf("store: open %s: sharded database (%d shards); open it with OpenAny or OpenSharded", dir, len(man.Shards))
 	}
 	var entries []Entry
 	if err := readJSON(filepath.Join(dir, catalogFile), &entries); err != nil {
@@ -107,8 +161,42 @@ func Open(dir string) (*Store, *Catalog, error) {
 		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
 	spec := man.Spec.withDefaults()
-	s := &Store{dir: dir, f: f, w: spec.W, h: spec.H, numMasks: man.NumMasks}
+	// Fail fast on a truncated or corrupted mask file: without this
+	// check a short masks.bin only surfaces mid-query as a confusing
+	// ReadAt error on whatever mask happens to fall past the end.
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	} else if want := int64(man.NumMasks) * int64(spec.W) * int64(spec.H); fi.Size() != want {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: open %s: masks.bin is %d bytes, want exactly %d (%d masks of %dx%d) — truncated or corrupted dataset",
+			dir, fi.Size(), want, man.NumMasks, spec.W, spec.H)
+	}
+	s := &Store{
+		dir: dir, f: f, w: spec.W, h: spec.H, numMasks: man.NumMasks,
+		base:     max(0, man.FirstID-1),
+		maskPool: &sync.Pool{},
+	}
 	return s, NewCatalog(entries), nil
+}
+
+// OpenAny opens a database directory of either layout: it returns a
+// plain *Store for a single-segment database and a *ShardedStore for
+// a sharded one (manifest with a shard list). The DB facade opens
+// through it so sharding stays transparent to callers.
+func OpenAny(dir string) (MaskStore, *Catalog, error) {
+	var man Manifest
+	if err := readJSON(filepath.Join(dir, manifestFile), &man); err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if len(man.Shards) > 0 {
+		return OpenSharded(dir)
+	}
+	st, cat, err := Open(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, cat, nil
 }
 
 // Dir returns the database directory.
@@ -230,8 +318,8 @@ func (s *Store) accountCache(hits, misses, evicted int64) {
 }
 
 func (s *Store) checkID(id int64) error {
-	if id < 1 || id > int64(s.numMasks) {
-		return fmt.Errorf("store: mask id %d out of range [1, %d]", id, s.numMasks)
+	if id <= s.base || id > s.base+int64(s.numMasks) {
+		return fmt.Errorf("store: mask id %d out of range [%d, %d]", id, s.base+1, s.base+int64(s.numMasks))
 	}
 	return nil
 }
@@ -257,7 +345,7 @@ func (s *Store) LoadMask(id int64) (*core.Mask, error) {
 	if m == nil {
 		m = core.NewByteMask(s.w, s.h)
 	}
-	if _, err := s.f.ReadAt(m.Bytes, (id-1)*int64(n)); err != nil {
+	if _, err := s.f.ReadAt(m.Bytes, (id-s.base-1)*int64(n)); err != nil {
 		s.maskPool.Put(m)
 		return nil, fmt.Errorf("store: read mask %d: %w", id, err)
 	}
@@ -284,14 +372,26 @@ func (s *Store) ReleaseMask(m *core.Mask) {
 	if m == nil || m.Bytes == nil || len(m.Bytes) != s.w*s.h || m.W != s.w || m.H != s.h {
 		return
 	}
-	if cache := s.cache; cache != nil {
-		if owned, evicted := cache.unpin(m); owned {
-			s.accountCache(0, 0, evicted)
-			return
-		}
+	if s.releaseCached(m) {
+		return
 	}
 	m.Pix = nil
 	s.maskPool.Put(m)
+}
+
+// releaseCached unpins m when this store's cache owns it, reporting
+// whether it did. A ShardedStore release probes each shard's cache
+// through it before falling back to the shared pool.
+func (s *Store) releaseCached(m *core.Mask) bool {
+	cache := s.cache
+	if cache == nil {
+		return false
+	}
+	owned, evicted := cache.unpin(m)
+	if owned {
+		s.accountCache(0, 0, evicted)
+	}
+	return owned
 }
 
 // LoadRegion reads only the pixels of one mask inside r (clamped to
@@ -310,7 +410,7 @@ func (s *Store) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
 		s.account(0, 1, 0)
 		return core.NewByteMask(0, 0), nil
 	}
-	maskOff := (id - 1) * int64(s.w) * int64(s.h)
+	maskOff := (id - s.base - 1) * int64(s.w) * int64(s.h)
 	rw := r.W()
 	out := core.NewByteMask(rw, r.H())
 	if rw == s.w {

@@ -56,6 +56,16 @@ func GenerateDataset(dir string, spec DatasetSpec) error {
 	return store.Generate(dir, spec)
 }
 
+// GenerateShardedDataset writes the same logical dataset split across
+// the given number of storage shards (shard-000/ … each with its own
+// masks.bin, catalog slice and manifest). Catalog rows, mask ids and
+// pixels are byte-identical to GenerateDataset; only the storage
+// layout changes. Open detects the layout transparently, giving each
+// shard its own cache arena, read stats and parallel I/O path.
+func GenerateShardedDataset(dir string, spec DatasetSpec, shards int) error {
+	return store.GenerateSharded(dir, spec, shards)
+}
+
 // WILDSSim is the scaled stand-in for the paper's WILDS dataset:
 // 1,500 images with two model saliency maps plus one human attention
 // map each, at 128x128.

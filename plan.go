@@ -327,7 +327,9 @@ func (db *DB) execBatch(ctx context.Context, plans []*plan) ([]*Result, error) {
 		nConsidered[pi] = len(targets[pi])
 		if p.k == 0 {
 			// LIMIT 0 is a valid, empty query — don't touch any mask.
-			results[pi].IDs = []int64{}
+			// As in exec, the empty result lands in the field matching
+			// the plan kind.
+			results[pi].setEmpty()
 			done[pi] = true
 			continue
 		}
