@@ -11,7 +11,7 @@
 //
 // The benchmarks use reduced dataset sizes (bench.Quick) so the whole
 // suite completes in minutes; cmd/msbench runs the full-size versions.
-package masksearch
+package masksearch_test
 
 import (
 	"context"
@@ -22,6 +22,7 @@ import (
 	"sync"
 	"testing"
 
+	"masksearch"
 	"masksearch/internal/baseline"
 	"masksearch/internal/bench"
 	"masksearch/internal/core"
@@ -199,7 +200,7 @@ func BenchmarkFigure10(b *testing.B) {
 			}
 			ids := d.Cat.MaskIDs(nil)
 			roiOf := d.Cat.ObjectROI()
-			vr := ValueRange{Lo: 0.6, Hi: 1.0}
+			vr := masksearch.ValueRange{Lo: 0.6, Hi: 1.0}
 			b.Run(fmt.Sprintf("%s/%s", name, gran.desc), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					id := ids[i%len(ids)]
@@ -298,18 +299,18 @@ func BenchmarkExactCP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	roi := Rect{X0: 10, Y0: 10, X1: d.Params.W - 10, Y1: d.Params.H - 10}
+	roi := masksearch.Rect{X0: 10, Y0: 10, X1: d.Params.W - 10, Y1: d.Params.H - 10}
 	for _, r := range []struct {
 		name string
-		vr   ValueRange
-	}{{"top", ValueRange{Lo: 0.6, Hi: 1.0}}, {"band", ValueRange{Lo: 0.3, Hi: 0.6}}} {
+		vr   masksearch.ValueRange
+	}{{"top", masksearch.ValueRange{Lo: 0.6, Hi: 1.0}}, {"band", masksearch.ValueRange{Lo: 0.3, Hi: 0.6}}} {
 		for _, v := range []struct {
 			kernel string
 			m      *core.Mask
 		}{{"byte", m}, {"float", m.ToFloat()}} {
 			b.Run(r.name+"/"+v.kernel, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					_ = CP(v.m, roi, r.vr)
+					_ = masksearch.CP(v.m, roi, r.vr)
 				}
 			})
 		}

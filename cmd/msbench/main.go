@@ -11,13 +11,17 @@
 //	msbench -data data -exp engine -workers 8 -json
 //	msbench -data data -exp multiquery
 //	msbench -data data -exp shard
+//	msbench -data data -exp prepare
 //
 // Experiments: fig7 (incl. Table 2), fig8, fig9, fig10, fig11 (incl.
 // the ratio subfigures), size, ablation, sweep, engine (sequential vs
 // worker-pool comparison), multiquery (batched execution with the
 // shared mask cache vs independent queries), shard (1/2/4-shard
 // storage layouts of the same logical dataset, byte-identical results
-// asserted; always writes BENCH_shard.json), all.
+// asserted; always writes BENCH_shard.json), prepare (prepared
+// statements vs per-call parse+plan, plus streaming first-row
+// latency, amortization and identical results asserted; always
+// writes BENCH_prepare.json), all.
 //
 // -workers sizes the engine worker pool for the figure experiments
 // (default 1, the sequential engine, so their masks-loaded/FML tables
@@ -51,7 +55,7 @@ func main() {
 
 	var (
 		dataDir = flag.String("data", "data", "directory for generated datasets")
-		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|all")
+		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|prepare|all")
 		dataset = flag.String("dataset", "both", "dataset: wilds-sim|imagenet-sim|both")
 		queries = flag.Int("queries", 0, "override query count for fig8/fig9/ablation/sweep")
 		wqs     = flag.Int("workload-queries", 0, "override workload length for fig11")
@@ -62,7 +66,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "all"}
+	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "prepare", "all"}
 	if !slices.Contains(validExps, *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(validExps, ", "))
 		os.Exit(2)
@@ -111,6 +115,7 @@ func main() {
 	var rows []bench.EngineRow
 	var mqRows []bench.MultiQueryRow
 	var shardRows []bench.ShardRow
+	var prepRows []bench.PrepareRow
 	run := func(name string, f func(d *bench.DatasetEnv) (fmt.Stringer, error)) {
 		for _, d := range envs {
 			log.Printf("running %s on %s", name, d.Params.Name)
@@ -131,6 +136,8 @@ func main() {
 				mqRows = append(mqRows, er.Rows...)
 			case *bench.ShardReport:
 				shardRows = append(shardRows, er.Rows...)
+			case *bench.PrepareReport:
+				prepRows = append(prepRows, er.Rows...)
 			default:
 				rows = append(rows, bench.EngineRow{
 					Exp: name, Dataset: d.Params.Name, Mode: "report", Queries: 1,
@@ -205,11 +212,19 @@ func main() {
 			return bench.Shard(ctx, d, *dataDir, thr, *workers, max(1, cfg.NQueries/5), cfg.Seed)
 		})
 	}
+	if want("prepare") {
+		run("prepare", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Prepare(ctx, d, max(1, cfg.NQueries/10), cfg.Seed)
+		})
+	}
 	if len(mqRows) > 0 {
 		writeJSON("BENCH_multiquery.json", *workers, mqRows)
 	}
 	if len(shardRows) > 0 {
 		writeJSON("BENCH_shard.json", *workers, shardRows)
+	}
+	if len(prepRows) > 0 {
+		writeJSON("BENCH_prepare.json", *workers, prepRows)
 	}
 	if *jsonOut {
 		writeJSON("BENCH_engine.json", *workers, rows)

@@ -3,12 +3,23 @@ package masksearch
 import (
 	"context"
 	"fmt"
+	"iter"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 
 	"masksearch/internal/core"
 	"masksearch/internal/store"
+)
+
+// Sentinel values of Options.CacheBytes, documented here once: the
+// store's shared LRU mask cache is either off, bounded by a positive
+// byte budget, or unbounded.
+const (
+	// CacheDisabled turns the mask cache off (the default).
+	CacheDisabled int64 = 0
+	// CacheUnbounded caches every loaded mask without a byte budget.
+	CacheUnbounded int64 = -1
 )
 
 // Options configures Open.
@@ -36,11 +47,39 @@ type Options struct {
 	// CacheBytes budgets the store's shared LRU mask cache: masks
 	// loaded for verification stay resident (up to this many bytes)
 	// and later queries — in particular the overlapping queries of a
-	// QueryBatch — reread them without disk traffic. 0 (the default)
-	// disables the cache, a negative value caches without bound.
-	// Results are identical under every setting; only the store's
-	// ReadStats change.
+	// QueryBatch — reread them without disk traffic. The legal values
+	// are CacheDisabled (0, the default), CacheUnbounded (-1), or a
+	// positive byte budget; OpenWith rejects anything else. Results
+	// are identical under every setting; only the store's ReadStats
+	// change.
 	CacheBytes int64
+	// PlanCacheEntries bounds the DB's LRU cache of compiled plan
+	// templates, which lets repeated raw Query calls of the same
+	// statement text skip parse+plan exactly like an explicit
+	// Prepare. 0 (the default) uses DefaultPlanCacheEntries; -1
+	// disables the cache; OpenWith rejects anything below -1.
+	PlanCacheEntries int
+}
+
+// DefaultPlanCacheEntries is the plan-template cache capacity used
+// when Options.PlanCacheEntries is 0.
+const DefaultPlanCacheEntries = 128
+
+// validate rejects option values the engine would otherwise
+// misinterpret silently (a negative worker count means GOMAXPROCS to
+// the core scheduler, which is surprising enough to be an error at
+// the facade).
+func (o Options) validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("masksearch: Options.Workers must be >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", o.Workers)
+	}
+	if o.CacheBytes < CacheUnbounded {
+		return fmt.Errorf("masksearch: Options.CacheBytes must be CacheDisabled (0), CacheUnbounded (-1) or a positive budget, got %d", o.CacheBytes)
+	}
+	if o.PlanCacheEntries < -1 {
+		return fmt.Errorf("masksearch: Options.PlanCacheEntries must be >= -1 (0 = default %d, -1 = off), got %d", DefaultPlanCacheEntries, o.PlanCacheEntries)
+	}
+	return nil
 }
 
 // exec translates the Workers option into a core execution strategy.
@@ -63,11 +102,12 @@ type IndexStats struct {
 // Open detects the layout from the manifest, so queries, batching and
 // caching work identically over both.
 type DB struct {
-	dir  string
-	opts Options
-	st   store.MaskStore
-	cat  *store.Catalog
-	idx  *core.MemoryIndex
+	dir   string
+	opts  Options
+	st    store.MaskStore
+	cat   *store.Catalog
+	idx   *core.MemoryIndex
+	plans *planCache
 
 	dirty atomic.Bool // index changed since open
 }
@@ -80,8 +120,11 @@ func Open(dir string) (*DB, error) {
 
 // OpenWith opens a mask database directory created by GenerateDataset
 // or GenerateShardedDataset (the layout is detected from the
-// manifest).
+// manifest). Options are validated before anything is opened.
 func OpenWith(dir string, opts Options) (*DB, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	st, cat, err := store.OpenAny(dir)
 	if err != nil {
 		return nil, err
@@ -99,7 +142,11 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	st.SetCacheBytes(opts.CacheBytes)
-	db := &DB{dir: dir, opts: opts, st: st, cat: cat}
+	planEntries := opts.PlanCacheEntries
+	if planEntries == 0 {
+		planEntries = DefaultPlanCacheEntries
+	}
+	db := &DB{dir: dir, opts: opts, st: st, cat: cat, plans: newPlanCache(planEntries)}
 	db.idx = db.loadPersistedIndex(cfg)
 	if opts.EagerIndex {
 		// Eager ("vanilla MaskSearch") construction fans mask loads
@@ -184,6 +231,39 @@ func (db *DB) env(ex core.Exec) *core.Env {
 	}
 }
 
+// envFor resolves per-query options against the DB defaults into an
+// execution environment.
+func (db *DB) envFor(qo queryOptions) (*core.Env, error) {
+	if qo.eagerBounds && qo.readOnlyIdx {
+		// Eager bounds grow the shared index by construction, which is
+		// exactly what a read-only query forbids.
+		return nil, fmt.Errorf("masksearch: WithEagerBounds and WithoutIndexUpdates are mutually exclusive")
+	}
+	workers := db.opts.Workers
+	if qo.workers != nil {
+		if *qo.workers < 0 {
+			return nil, fmt.Errorf("masksearch: WithWorkers wants n >= 0 (0 = GOMAXPROCS, 1 = sequential), got %d", *qo.workers)
+		}
+		workers = *qo.workers
+	}
+	env := db.env(core.ExecFor(workers))
+	if qo.readOnlyIdx {
+		env.OnVerify = nil
+	}
+	return env, nil
+}
+
+// ensureBounds eagerly builds CHIs for every target that lacks one
+// (the WithEagerBounds per-query option), fanning loads and builds
+// across the query's worker pool.
+func (db *DB) ensureBounds(ctx context.Context, env *core.Env, targets []int64) error {
+	built, err := core.IndexAll(ctx, db.st, db.idx, targets, env.Exec)
+	if built > 0 {
+		db.dirty.Store(true)
+	}
+	return err
+}
+
 // Entries returns all catalog rows; callers must not mutate them.
 func (db *DB) Entries() []CatalogEntry { return db.cat.Entries() }
 
@@ -259,63 +339,119 @@ func (r *Result) setEmpty() {
 	}
 }
 
+// Prepare compiles one msquery-dialect SQL statement — with optional
+// `?` placeholders — into a reusable Stmt. The parse and plan work is
+// paid once; every Stmt.Query/QueryBatch/Rows call only binds
+// parameter values into the cached template. Prepare consults the
+// DB's plan cache, so preparing the same text twice returns the same
+// underlying template.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	return db.prepared(sql)
+}
+
+// prepared returns the cached Stmt for sql, compiling and caching it
+// on a miss.
+func (db *DB) prepared(sql string) (*Stmt, error) {
+	if st := db.plans.get(sql); st != nil {
+		return st, nil
+	}
+	stmt, err := parseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := db.compile(stmt)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{db: db, sql: sql, tmpl: tmpl}
+	db.plans.put(sql, st)
+	return st, nil
+}
+
+// PlanCacheStats reports the plan-template cache's traffic since
+// open.
+func (db *DB) PlanCacheStats() PlanCacheStats { return db.plans.stats() }
+
 // Explain parses and plans sql, returning the compiled plan rendered
-// as text without executing anything.
-func (db *DB) Explain(sql string) (string, error) {
-	stmt, err := parseQuery(sql)
+// as text without executing anything. For a parameterized statement,
+// call with no args to render the unbound template (placeholders as
+// ?N) or with a full argument set to render the bound plan.
+func (db *DB) Explain(sql string, args ...any) (string, error) {
+	st, err := db.prepared(sql)
 	if err != nil {
 		return "", err
 	}
-	p, err := db.plan(stmt)
-	if err != nil {
-		return "", err
-	}
-	return p.explain(), nil
+	return st.Explain(args...)
 }
 
-// Query parses, plans and executes one msquery-dialect SQL statement.
-// See package sql.go for the dialect.
-func (db *DB) Query(ctx context.Context, sql string) (*Result, error) {
-	stmt, err := parseQuery(sql)
+// Query plans and executes one msquery-dialect SQL statement (see
+// package sql.go for the dialect), binding one argument per `?`
+// placeholder. QueryOpt values may be interleaved with the arguments
+// to tune this call only. Query is implemented on top of Prepare and
+// an internal plan cache, so repeated statements of the same text
+// skip the parse and plan work.
+func (db *DB) Query(ctx context.Context, sql string, args ...any) (*Result, error) {
+	st, err := db.prepared(sql)
 	if err != nil {
 		return nil, err
 	}
-	p, err := db.plan(stmt)
-	if err != nil {
-		return nil, err
-	}
-	return db.exec(ctx, p)
+	return st.Query(ctx, args...)
 }
 
-// QueryBatch parses, plans and executes a batch of msquery-dialect
-// statements as one scheduled workload (§4.5): the filter stages of
-// every statement run as one core.ExecBatch round and the ranking
-// stages as a second, so a mask needed by several statements is loaded
-// from the store once per round instead of once per statement (and,
-// with Options.CacheBytes set, at most once across rounds and
-// batches). Every Result is byte-identical to running its statement
-// alone through Query; per-statement stats follow the ExecBatch
-// contract. A parse or plan error anywhere fails the whole batch
-// before any statement executes.
-func (db *DB) QueryBatch(ctx context.Context, sqls []string) ([]*Result, error) {
+// Rows plans and executes one statement as a stream (see Stmt.Rows):
+// filter matches are yielded incrementally as the scan decides them,
+// and breaking out of the loop stops the scan without loading the
+// tail.
+func (db *DB) Rows(ctx context.Context, sql string, args ...any) iter.Seq2[Row, error] {
+	st, err := db.prepared(sql)
+	if err != nil {
+		return func(yield func(Row, error) bool) { yield(Row{}, err) }
+	}
+	return st.Rows(ctx, args...)
+}
+
+// QueryBatch plans and executes a batch of msquery-dialect statements
+// as one scheduled workload (§4.5): the filter stages of every
+// statement run as one core.ExecBatch round and the ranking stages as
+// a second, so a mask needed by several statements is loaded from the
+// store once per round instead of once per statement (and, with
+// Options.CacheBytes set, at most once across rounds and batches).
+// Every Result is byte-identical to running its statement alone
+// through Query; per-statement stats follow the ExecBatch contract. A
+// parse or plan error anywhere fails the whole batch before any
+// statement executes. Statements must be placeholder-free (parameter
+// sweeps batch through Stmt.QueryBatch instead); opts tune the whole
+// batch.
+func (db *DB) QueryBatch(ctx context.Context, sqls []string, opts ...QueryOpt) ([]*Result, error) {
+	var qo queryOptions
+	for _, o := range opts {
+		o(&qo)
+	}
 	plans := make([]*plan, len(sqls))
 	for i, sql := range sqls {
-		stmt, err := parseQuery(sql)
+		st, err := db.prepared(sql)
 		if err != nil {
 			return nil, fmt.Errorf("statement %d: %w", i+1, err)
 		}
-		p, err := db.plan(stmt)
+		p, err := st.tmpl.bind(nil)
 		if err != nil {
 			return nil, fmt.Errorf("statement %d: %w", i+1, err)
 		}
 		plans[i] = p
 	}
-	return db.execBatch(ctx, plans)
+	env, err := db.envFor(qo)
+	if err != nil {
+		return nil, err
+	}
+	return db.execBatch(ctx, env, plans, qo)
 }
 
-// exec runs a compiled plan.
-func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
-	env := db.env(p.ex)
+// run executes a bound plan under the resolved per-query options.
+func (db *DB) run(ctx context.Context, p *plan, qo queryOptions) (*Result, error) {
+	env, err := db.envFor(qo)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Kind: p.kind}
 	targets := db.cat.MaskIDs(p.keep)
 	nConsidered := len(targets)
@@ -326,6 +462,11 @@ func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
 	if p.k == 0 {
 		res.setEmpty()
 		return res, nil
+	}
+	if qo.eagerBounds {
+		if err := db.ensureBounds(ctx, env, targets); err != nil {
+			return nil, err
+		}
 	}
 
 	// A WHERE clause with CP predicates in front of a ranking plan
@@ -388,24 +529,79 @@ func (db *DB) exec(ctx context.Context, p *plan) (*Result, error) {
 	return res, nil
 }
 
-// filterLimited answers a LIMIT'd filter plan by scanning targets in
-// chunks and stopping as soon as enough masks matched, skipping the
-// tail's disk reads. Shared by exec and execBatch so both paths keep
-// the early exit.
-func (db *DB) filterLimited(ctx context.Context, env *core.Env, p *plan, targets []int64, res *Result) error {
-	chunk := max(256, 4*p.k)
-	for off := 0; off < len(targets) && len(res.IDs) < p.k; off += chunk {
-		ids, st, err := core.Filter(ctx, env, targets[off:min(off+chunk, len(targets))], p.filterTerms, p.pred)
-		if err != nil {
-			return err
+// stream executes a bound plan for Stmt.Rows, yielding rows as they
+// are decided. Filter plans emit through core.FilterEmit's chunked
+// scan (so a consumer that stops early skips the tail's loads);
+// ranking and aggregation plans yield their ranked rows once scored.
+func (db *DB) stream(ctx context.Context, p *plan, qo queryOptions, yield func(Row, error) bool) {
+	env, err := db.envFor(qo)
+	if err != nil {
+		yield(Row{}, err)
+		return
+	}
+	if p.k == 0 {
+		return
+	}
+	targets := db.cat.MaskIDs(p.keep)
+	if qo.eagerBounds {
+		if err := db.ensureBounds(ctx, env, targets); err != nil {
+			yield(Row{}, err)
+			return
 		}
-		res.Stats.Merge(st)
-		res.IDs = append(res.IDs, ids...)
 	}
-	if len(res.IDs) > p.k {
-		res.IDs = res.IDs[:p.k]
+	if p.kind == planFilter {
+		if len(p.filterTerms) == 0 {
+			// Metadata-only predicate: stream straight off the catalog.
+			for i, id := range targets {
+				if p.k > 0 && i >= p.k {
+					return
+				}
+				if !yield(Row{ID: id}, nil) {
+					return
+				}
+			}
+			return
+		}
+		emitted := 0
+		stopped := false
+		_, err := core.FilterEmit(ctx, env, targets, p.filterTerms, p.pred, func(id int64) bool {
+			if !yield(Row{ID: id}, nil) {
+				stopped = true
+				return false
+			}
+			emitted++
+			return p.k < 0 || emitted < p.k
+		})
+		if err != nil && !stopped {
+			yield(Row{}, err)
+		}
+		return
 	}
-	return nil
+	// Ranking and aggregation plans only know their rows after the
+	// verification stage completes; stream the ranked result.
+	res, err := db.run(ctx, p, qo)
+	if err != nil {
+		yield(Row{}, err)
+		return
+	}
+	for _, r := range res.Ranked {
+		if !yield(Row{ID: r.ID, Score: r.Score}, nil) {
+			return
+		}
+	}
+}
+
+// filterLimited answers a LIMIT'd filter plan through the streaming
+// scan: targets are scanned in growing chunks and the scan stops as
+// soon as enough masks matched, skipping the tail's disk reads.
+// Shared by run and execBatch so both paths keep the early exit.
+func (db *DB) filterLimited(ctx context.Context, env *core.Env, p *plan, targets []int64, res *Result) error {
+	st, err := core.FilterEmit(ctx, env, targets, p.filterTerms, p.pred, func(id int64) bool {
+		res.IDs = append(res.IDs, id)
+		return len(res.IDs) < p.k
+	})
+	res.Stats.Merge(st)
+	return err
 }
 
 // groupTargets groups the (possibly pre-filtered) target ids by the

@@ -85,6 +85,7 @@ func (c Config) setup(spec store.Spec) (*DatasetEnv, error) {
 	}
 	return &DatasetEnv{
 		Params:  man.Spec,
+		Dir:     dir,
 		Store:   st,
 		Cat:     cat,
 		indexes: map[string]*core.MemoryIndex{},
@@ -106,6 +107,9 @@ func sameSpec(a, b store.Spec) bool {
 type DatasetEnv struct {
 	// Params is the dataset's generation spec (from its manifest).
 	Params store.Spec
+	// Dir is the dataset directory, so facade-level experiments can
+	// open a masksearch.DB over the same data.
+	Dir string
 	// Store reads masks and accounts traffic.
 	Store *store.Store
 	// Cat is the dataset's catalog.

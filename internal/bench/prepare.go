@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"masksearch"
+	"masksearch/internal/core"
+	"masksearch/internal/workload"
+)
+
+// PrepareRow is one machine-readable measurement of the prepare
+// experiment: plan-cost amortization and first-row latency of the
+// prepared/streaming facade. The rows feed BENCH_prepare.json.
+type PrepareRow struct {
+	Exp         string `json:"exp"`
+	Dataset     string `json:"dataset"`
+	Mode        string `json:"mode"`
+	Queries     int    `json:"queries"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	MasksLoaded int64  `json:"masks_loaded"`
+	Identical   bool   `json:"identical"`
+}
+
+// PrepareReport carries the rendered table plus the JSON rows.
+type PrepareReport struct {
+	*Report
+	Rows []PrepareRow
+}
+
+// planShape is the representative parameterized statement used for
+// the plan-cost microbenchmark (a §4.3 CP threshold query with every
+// value late-bound).
+const planShape = "SELECT mask_id FROM masks WHERE CP(mask, object, ?, ?) > ? AND model_id = 1"
+
+// Prepare benchmarks the serving-grade query facade on one dataset:
+//
+//	plan-parse+plan / plan-bind — the per-call cost of lex+parse+plan
+//	       (plan cache disabled) against the cost of binding arguments
+//	       into a prepared template. The experiment fails unless bind
+//	       is strictly cheaper, so the amortization claim is asserted,
+//	       not eyeballed.
+//	sweep-unprepared / sweep-prepared — a §4.3 threshold sweep (n
+//	       shapes × 5 selectivity points) run once through per-call
+//	       DB.Query with literal SQL and once through one prepared
+//	       statement per shape. Results must be byte-identical.
+//	first-row-query / first-row-stream — time and mask loads until the
+//	       first row of a cold full-scan filter, materialized via
+//	       Query vs streamed via Rows. The streamed path must load
+//	       strictly fewer masks.
+func Prepare(ctx context.Context, d *DatasetEnv, n int, seed int64) (*PrepareReport, error) {
+	rep := &PrepareReport{Report: NewReport(fmt.Sprintf(
+		"Prepare — prepared statements, plan cache and streaming on %s", d.Params.Name))}
+	rep.Printf("%-22s %10s %12s %12s\n", "mode", "queries", "ns/op", "masks")
+	row := func(mode string, queries int, nsPerOp, masks int64, identical bool) {
+		rep.Rows = append(rep.Rows, PrepareRow{
+			Exp: "prepare", Dataset: d.Params.Name, Mode: mode, Queries: queries,
+			NsPerOp: nsPerOp, MasksLoaded: masks, Identical: identical,
+		})
+		rep.Printf("%-22s %10d %12d %12d\n", mode, queries, nsPerOp, masks)
+	}
+
+	// Phase 1 — plan cost: parse+plan per call vs bind per call.
+	noCache, err := masksearch.OpenWith(d.Dir, masksearch.Options{
+		PersistIndexOnClose: false, Workers: 1, PlanCacheEntries: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer noCache.Close()
+	const planIters = 5000
+	start := time.Now()
+	for i := 0; i < planIters; i++ {
+		if _, err := noCache.Prepare(planShape); err != nil {
+			return nil, err
+		}
+	}
+	parseNs := time.Since(start).Nanoseconds() / planIters
+	stmt, err := noCache.Prepare(planShape)
+	if err != nil {
+		return nil, err
+	}
+	args := []any{0.8, 1.0, 2000}
+	start = time.Now()
+	for i := 0; i < planIters; i++ {
+		if err := stmt.Check(args...); err != nil {
+			return nil, err
+		}
+	}
+	bindNs := time.Since(start).Nanoseconds() / planIters
+	row("plan-parse+plan", planIters, parseNs, 0, true)
+	row("plan-bind", planIters, bindNs, 0, true)
+	if bindNs >= parseNs {
+		return nil, fmt.Errorf("bench: prepare: binding (%d ns/op) is not cheaper than parse+plan (%d ns/op) — plan work is not amortized", bindNs, parseNs)
+	}
+
+	// Phase 2 — threshold sweep: per-call literal SQL vs one prepared
+	// statement per shape, byte-identical results required.
+	db, err := masksearch.OpenWith(d.Dir, masksearch.Options{
+		// Persisted so only the first run over this directory pays the
+		// eager build (the sweep experiment shares the same chi.gob).
+		EagerIndex: true, PersistIndexOnClose: true, Workers: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(seed))
+	ids := d.Cat.MaskIDs(nil)
+	w, h := d.Params.W, d.Params.H
+	shapes := make([]workload.FilterQuery, n)
+	for i := range shapes {
+		shapes[i] = workload.RandomFilter(rng, d.Cat, w, h, ids)
+	}
+	fracs := []float64{0.01, 0.05, 0.1, 0.2, 0.4}
+	thresh := func(q workload.FilterQuery, frac float64) int64 {
+		area := float64(q.ROI.Area())
+		if q.UseObject {
+			area = float64(w * h / 8)
+		}
+		return int64(frac * area)
+	}
+	sweepN := n * len(fracs)
+
+	rs0 := db.ReadStats()
+	start = time.Now()
+	unprepared := make([][]int64, 0, sweepN)
+	for _, q := range shapes {
+		for _, frac := range fracs {
+			q.Thresh = thresh(q, frac)
+			res, err := db.Query(ctx, q.LiteralSQL())
+			if err != nil {
+				return nil, fmt.Errorf("bench: prepare sweep-unprepared: %w", err)
+			}
+			unprepared = append(unprepared, res.IDs)
+		}
+	}
+	unpreparedNs := time.Since(start).Nanoseconds() / int64(sweepN)
+	rs1 := db.ReadStats()
+	row("sweep-unprepared", sweepN, unpreparedNs, rs1.MasksLoaded-rs0.MasksLoaded, true)
+
+	start = time.Now()
+	i := 0
+	identical := true
+	for _, q := range shapes {
+		sql, qargs := q.SQL()
+		st, err := db.Prepare(sql)
+		if err != nil {
+			return nil, err
+		}
+		for _, frac := range fracs {
+			qargs[2] = thresh(q, frac)
+			res, err := st.Query(ctx, qargs...)
+			if err != nil {
+				return nil, fmt.Errorf("bench: prepare sweep-prepared: %w", err)
+			}
+			if !equalIDs(res.IDs, unprepared[i]) {
+				identical = false
+			}
+			i++
+		}
+	}
+	preparedNs := time.Since(start).Nanoseconds() / int64(sweepN)
+	rs2 := db.ReadStats()
+	row("sweep-prepared", sweepN, preparedNs, rs2.MasksLoaded-rs1.MasksLoaded, identical)
+	if !identical {
+		return nil, fmt.Errorf("bench: prepare: prepared sweep results differ from the per-call path")
+	}
+	pcs := db.PlanCacheStats()
+	rep.Printf("plan cache: %d entries, %d hits, %d misses\n", pcs.Entries, pcs.Hits, pcs.Misses)
+
+	// Phase 3 — first-row latency on a cold, unindexed full scan. The
+	// non-default index granularity guarantees a persisted chi.gob
+	// (e.g. the sweep's) is discarded, so this DB really starts with
+	// an empty index and the full pass loads every target.
+	lazy, err := masksearch.OpenWith(d.Dir, masksearch.Options{
+		PersistIndexOnClose: false, Workers: 1,
+		IndexConfig: core.Config{
+			CellW: max(2, d.Params.W/2), CellH: max(2, d.Params.H/2),
+			Edges: core.DefaultEdges(6),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer lazy.Close()
+	const firstRowSQL = "SELECT mask_id FROM masks WHERE CP(mask, full, ?, 1.0) > ?"
+	rs0 = lazy.ReadStats()
+	start = time.Now()
+	res, err := lazy.Query(ctx, firstRowSQL, 0.5, 0, masksearch.WithoutIndexUpdates())
+	if err != nil {
+		return nil, err
+	}
+	queryNs := time.Since(start).Nanoseconds()
+	rs1 = lazy.ReadStats()
+	fullLoads := rs1.MasksLoaded - rs0.MasksLoaded
+	row("first-row-query", 1, queryNs, fullLoads, true)
+
+	start = time.Now()
+	var firstID int64
+	got := false
+	for r, err := range lazy.Rows(ctx, firstRowSQL, 0.5, 0, masksearch.WithoutIndexUpdates()) {
+		if err != nil {
+			return nil, err
+		}
+		firstID = r.ID
+		got = true
+		break
+	}
+	streamNs := time.Since(start).Nanoseconds()
+	rs2 = lazy.ReadStats()
+	streamLoads := rs2.MasksLoaded - rs1.MasksLoaded
+	row("first-row-stream", 1, streamNs, streamLoads, got && len(res.IDs) > 0 && firstID == res.IDs[0])
+	if !got || len(res.IDs) == 0 || firstID != res.IDs[0] {
+		return nil, fmt.Errorf("bench: prepare: streamed first row disagrees with the materialized result")
+	}
+	if streamLoads >= fullLoads {
+		return nil, fmt.Errorf("bench: prepare: streaming loaded %d masks before the first row, not below the materializing path's %d",
+			streamLoads, fullLoads)
+	}
+	rep.Printf("plan amortization: bind is %.1fx cheaper than parse+plan; first row streams after %d of %d loads\n",
+		float64(parseNs)/float64(max(1, bindNs)), streamLoads, fullLoads)
+	return rep, nil
+}

@@ -140,6 +140,45 @@ func (e *Env) filterTarget(id int64, terms []CPTerm, pred Pred, bs []Bounds, st 
 	}
 }
 
+// Streaming chunk sizes: FilterEmit starts small so the first match
+// surfaces after a handful of loads, then doubles the chunk so a
+// consumer that drains the whole stream still amortizes per-chunk
+// overhead (and keeps the worker pool busy on large inputs).
+const (
+	streamChunkMin = 32
+	streamChunkMax = 1024
+)
+
+// FilterEmit is the streaming Filter: it scans targets in growing
+// chunks — each chunk through the same sequential or worker-pool
+// engine as Filter — and emits matching ids in target order as each
+// chunk is decided. emit returns false to stop the scan; the tail's
+// masks are then never loaded, which is what makes pagination-style
+// consumers strictly cheaper than materializing the full result. A
+// fully-consumed FilterEmit emits exactly Filter's ids in Filter's
+// order; its Stats then equal Filter's, except that Targets counts
+// only the scanned prefix when the consumer stops early.
+func FilterEmit(ctx context.Context, env *Env, targets []int64, terms []CPTerm, pred Pred, emit func(id int64) bool) (Stats, error) {
+	var st Stats
+	chunk := streamChunkMin
+	for off := 0; off < len(targets); {
+		n := min(chunk, len(targets)-off)
+		ids, cst, err := Filter(ctx, env, targets[off:off+n], terms, pred)
+		st.Merge(cst)
+		if err != nil {
+			return st, err
+		}
+		for _, id := range ids {
+			if !emit(id) {
+				return st, nil
+			}
+		}
+		off += n
+		chunk = min(2*chunk, streamChunkMax)
+	}
+	return st, nil
+}
+
 // Filter returns the target ids whose term values satisfy pred, in
 // target order. The filter stage decides as many masks as possible
 // from CHI bounds; only masks the bounds cannot decide are loaded and

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestFilterEmitMatchesFilter is the streaming-determinism property:
+// a fully-drained FilterEmit must emit exactly Filter's ids in
+// Filter's order and account the same stats, at every worker count.
+func TestFilterEmitMatchesFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	loader, idx, ids := buildParFixture(rng, 140, 16, 16)
+	for it := 0; it < 30; it++ {
+		roi := randomROI(rng, 16, 16)
+		vr := randomVR(rng)
+		terms := []CPTerm{{Region: FixedRegion(roi), Range: vr}}
+		pred := Cmp{T: 0, Op: OpGt, C: int64(rng.Intn(120))}
+
+		seqEnv := &Env{Loader: loader, Index: idx}
+		want, wantSt, err := Filter(ctx, seqEnv, ids, terms, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workerCounts {
+			env := &Env{Loader: loader, Index: idx, Exec: Exec{Workers: w}}
+			var got []int64
+			st, err := FilterEmit(ctx, env, ids, terms, pred, func(id int64) bool {
+				got = append(got, id)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("iter %d workers %d: streamed ids differ:\ngot  %v\nwant %v", it, w, got, want)
+			}
+			if st != wantSt {
+				t.Fatalf("iter %d workers %d: streamed stats differ: got %+v want %+v", it, w, st, wantSt)
+			}
+		}
+	}
+}
+
+// TestFilterEmitEarlyStop checks the point of streaming: a consumer
+// that stops after the first match leaves the tail unscanned, so the
+// loader sees strictly fewer loads than a full Filter pass.
+func TestFilterEmitEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ctx := context.Background()
+	loader := &syncLoader{masks: map[int64]*Mask{}}
+	ids := make([]int64, 0, 200)
+	for i := 1; i <= 200; i++ {
+		loader.masks[int64(i)] = randomMask(rng, 16, 16)
+		ids = append(ids, int64(i))
+	}
+	// No index: every scanned target must be loaded and verified.
+	env := &Env{Loader: loader}
+	terms := []CPTerm{{Region: FixedRegion(Rect{X1: 16, Y1: 16}), Range: ValueRange{Lo: 0, Hi: 1}}}
+	pred := Cmp{T: 0, Op: OpGe, C: 0} // matches everything
+
+	loader.loaded = 0
+	if _, _, err := Filter(ctx, env, ids, terms, pred); err != nil {
+		t.Fatal(err)
+	}
+	full := loader.loaded
+	if full != len(ids) {
+		t.Fatalf("full scan loaded %d masks, want %d", full, len(ids))
+	}
+
+	loader.loaded = 0
+	emitted := 0
+	st, err := FilterEmit(ctx, env, ids, terms, pred, func(int64) bool {
+		emitted++
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 1 {
+		t.Fatalf("emitted %d rows after stop, want 1", emitted)
+	}
+	if loader.loaded >= full {
+		t.Fatalf("early stop loaded %d masks, want strictly fewer than %d", loader.loaded, full)
+	}
+	if st.Targets != streamChunkMin {
+		t.Fatalf("early stop scanned %d targets, want the first chunk of %d", st.Targets, streamChunkMin)
+	}
+}

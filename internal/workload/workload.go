@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"strconv"
 
 	"masksearch/internal/core"
 	"masksearch/internal/store"
@@ -38,6 +39,50 @@ func (q FilterQuery) Terms(cat *store.Catalog) []core.CPTerm {
 
 // Pred returns the query's threshold predicate.
 func (q FilterQuery) Pred() core.Pred { return core.Cmp{T: 0, Op: core.OpGt, C: q.Thresh} }
+
+// regionSQL renders the query's region in msquery syntax.
+func (q FilterQuery) regionSQL() string {
+	if q.UseObject {
+		return "object"
+	}
+	return fmt.Sprintf("rect(%d,%d,%d,%d)", q.ROI.X0, q.ROI.Y0, q.ROI.X1, q.ROI.Y1)
+}
+
+// sqlVR clamps the value range to the dialect's [0, 1] domain. The
+// clamp is semantics-preserving: core.ValueRange treats any Hi >= 1
+// as the top-closed interval, so {Lo, 1.05} and {Lo, 1.0} select the
+// same pixels.
+func (q FilterQuery) sqlVR() core.ValueRange {
+	vr := q.VR
+	vr.Hi = min(vr.Hi, 1.0)
+	return vr
+}
+
+// sqlNum renders a float in the msquery number syntax (plain digits
+// and dot; the workload generators never produce values that would
+// format with an exponent).
+func sqlNum(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// SQL renders the query's shape as a parameterized msquery statement
+// with the value range and threshold late-bound, for driving
+// parameter sweeps through one prepared statement. Mask subsets are
+// not expressible in the dialect, so the statement targets every
+// mask; use it only for queries drawn over the full catalog (the
+// §4.3 sweeps are).
+func (q FilterQuery) SQL() (sql string, args []any) {
+	vr := q.sqlVR()
+	return fmt.Sprintf("SELECT mask_id FROM masks WHERE CP(mask, %s, ?, ?) > ?", q.regionSQL()),
+		[]any{vr.Lo, vr.Hi, q.Thresh}
+}
+
+// LiteralSQL renders the same statement as SQL with every value
+// inlined — the unprepared per-call form the prepared path is
+// property-tested against.
+func (q FilterQuery) LiteralSQL() string {
+	vr := q.sqlVR()
+	return fmt.Sprintf("SELECT mask_id FROM masks WHERE CP(mask, %s, %s, %s) > %d",
+		q.regionSQL(), sqlNum(vr.Lo), sqlNum(vr.Hi), q.Thresh)
+}
 
 // TopKQuery ranks masks by one CP term.
 type TopKQuery struct {

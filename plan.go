@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 
 	"masksearch/internal/core"
@@ -31,7 +32,10 @@ func (k PlanKind) String() string {
 	return "?"
 }
 
-// plan is a compiled, executable msquery statement.
+// plan is a compiled, executable msquery statement with every value
+// resolved. Plans are produced by planTemplate.bind: a statement
+// without placeholders binds to its template's base plan directly,
+// one with placeholders binds to a patched copy per argument set.
 type plan struct {
 	kind PlanKind
 
@@ -43,6 +47,7 @@ type plan struct {
 	filterTerms []core.CPTerm
 	filterDescs []string
 	pred        core.Pred
+	predDesc    string
 
 	// scoreTerms holds the single ranking/aggregation term.
 	scoreTerms []core.CPTerm
@@ -55,13 +60,157 @@ type plan struct {
 	aggAlias string
 
 	k       int
+	kDesc   string // "?N" while LIMIT is an unbound placeholder
 	order   core.Order
 	orderBy string
+}
 
-	// ex is the execution strategy the executors run under, resolved
-	// from Options.Workers at plan time so a future per-query override
-	// (e.g. an SQL hint) only has to touch the planner.
-	ex core.Exec
+// binder patches one parameter site of a cloned plan with its bound
+// value, performing the site's range/type checks.
+type binder func(p *plan, args []float64) error
+
+// metaCond is one metadata WHERE condition in template form: the
+// comparison value may be a placeholder, so the keep closure is built
+// when the values are known.
+type metaCond struct {
+	col, op  string
+	eq       bool // op == "="
+	intFn    func(store.Entry) int64
+	boolFn   func(store.Entry) bool // non-nil for modified/mispredicted
+	boolWant bool
+	num      numVal
+}
+
+// desc renders the condition for EXPLAIN: ?N while unbound (args ==
+// nil), the bound integer otherwise.
+func (m *metaCond) desc(args []float64) string {
+	if m.boolFn != nil {
+		return fmt.Sprintf("%s %s %v", m.col, m.op, m.boolWant)
+	}
+	if m.num.isParam() && args == nil {
+		return fmt.Sprintf("%s %s %s", m.col, m.op, m.num)
+	}
+	return fmt.Sprintf("%s %s %d", m.col, m.op, int64(m.num.value(args)))
+}
+
+// hasParam reports whether the comparison value is a placeholder.
+func (m *metaCond) hasParam() bool { return m.boolFn == nil && m.num.isParam() }
+
+// test builds the condition's entry predicate against bound values.
+func (m *metaCond) test(args []float64) (func(store.Entry) bool, error) {
+	if m.boolFn != nil {
+		want := m.boolWant
+		if !m.eq {
+			want = !want
+		}
+		fn := m.boolFn
+		return func(e store.Entry) bool { return fn(e) == want }, nil
+	}
+	v := m.num.value(args)
+	if m.num.isParam() && (v != math.Trunc(v) || math.IsInf(v, 0)) {
+		return nil, bindErrf(m.num, "%s compares against an integer, got %v", m.col, v)
+	}
+	want, eq, fn := int64(v), m.eq, m.intFn
+	return func(e store.Entry) bool { return (fn(e) == want) == eq }, nil
+}
+
+// planTemplate is a compiled statement with unresolved `?`
+// parameters. The expensive, value-independent work — lexing,
+// parsing, shape validation, term deduplication, target predicates —
+// is done once at Prepare time; bind only patches the parameter sites
+// into a copy of the base plan and runs their range checks.
+type planTemplate struct {
+	nParams int
+	base    plan
+
+	metas      []metaCond
+	metaParams bool // any metadata condition holds a placeholder
+
+	predParams bool // any CP comparison holds a placeholder
+	binders    []binder
+}
+
+// bindErrf builds a positioned BindError for the site holding n.
+func bindErrf(n numVal, format string, args ...any) error {
+	return &BindError{Param: n.param + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// buildKeep folds the metadata conditions into one entry predicate
+// and its description. args is nil for the unbound template rendering
+// (placeholders shown as ?N, keep left nil).
+func (t *planTemplate) buildKeep(args []float64) (func(store.Entry) bool, string, error) {
+	if len(t.metas) == 0 {
+		return nil, "all", nil
+	}
+	descs := make([]string, len(t.metas))
+	conds := make([]func(store.Entry) bool, len(t.metas))
+	for i := range t.metas {
+		m := &t.metas[i]
+		descs[i] = m.desc(args)
+		if args == nil && m.hasParam() {
+			continue
+		}
+		fn, err := m.test(args)
+		if err != nil {
+			return nil, "", err
+		}
+		conds[i] = fn
+	}
+	desc := strings.Join(descs, " AND ")
+	if args == nil && t.metaParams {
+		return nil, desc, nil
+	}
+	keep := func(e store.Entry) bool {
+		for _, f := range conds {
+			if !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return keep, desc, nil
+}
+
+// bind resolves the template against one argument set, enforcing
+// arity and the per-site range checks the parser applies to literals.
+// A template without parameters binds to its base plan without
+// copying; otherwise the parameter-dependent slices are cloned so
+// concurrent binds of one prepared statement never share state.
+func (t *planTemplate) bind(args []float64) (*plan, error) {
+	if len(args) != t.nParams {
+		return nil, &BindError{Msg: fmt.Sprintf("statement has %d parameter(s), got %d argument(s)", t.nParams, len(args))}
+	}
+	p := t.base
+	if t.nParams == 0 {
+		return &p, nil
+	}
+	for i, v := range args {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, &BindError{Param: i + 1, Msg: fmt.Sprintf("argument must be a finite number, got %v", v)}
+		}
+	}
+	p.filterTerms = slices.Clone(p.filterTerms)
+	p.filterDescs = slices.Clone(p.filterDescs)
+	p.scoreTerms = slices.Clone(p.scoreTerms)
+	if a, ok := p.pred.(core.And); ok {
+		p.pred = slices.Clone(a)
+	}
+	if t.metaParams {
+		keep, desc, err := t.buildKeep(args)
+		if err != nil {
+			return nil, err
+		}
+		p.keep, p.targetDesc = keep, desc
+	}
+	for _, b := range t.binders {
+		if err := b(&p, args); err != nil {
+			return nil, err
+		}
+	}
+	if t.predParams {
+		p.predDesc = p.pred.String()
+	}
+	return &p, nil
 }
 
 // region resolves a parsed region spec to a RegionFn over this DB.
@@ -76,8 +225,36 @@ func (db *DB) region(r regionSpec) core.RegionFn {
 	}
 }
 
+// term compiles a CP expression. Placeholder value bounds start at
+// their zero values; bindRange patches them before execution.
 func (db *DB) term(cp *cpExpr) core.CPTerm {
-	return core.CPTerm{Name: cp.String(), Region: db.region(cp.region), Range: cp.vr}
+	return core.CPTerm{
+		Name:   cp.String(),
+		Region: db.region(cp.region),
+		Range:  core.ValueRange{Lo: cp.lo.v, Hi: cp.hi.v},
+	}
+}
+
+// bindRange resolves a CP expression's value range against bound
+// arguments, applying the parser's literal checks to the bound sites.
+func (c *cpExpr) bindRange(args []float64) (core.ValueRange, string, error) {
+	lo, hi := c.lo.value(args), c.hi.value(args)
+	if c.lo.isParam() && (lo < 0 || lo > 1) {
+		return core.ValueRange{}, "", bindErrf(c.lo, "CP value bounds must lie in [0, 1], got %g", lo)
+	}
+	if c.hi.isParam() && (hi < 0 || hi > 1) {
+		return core.ValueRange{}, "", bindErrf(c.hi, "CP value bounds must lie in [0, 1], got %g", hi)
+	}
+	if hi < lo {
+		n := c.hi
+		if !n.isParam() {
+			n = c.lo
+		}
+		return core.ValueRange{}, "", bindErrf(n, "CP value range is empty: lo %g > hi %g", lo, hi)
+	}
+	vr := core.ValueRange{Lo: lo, Hi: hi}
+	desc := fmt.Sprintf("CP(mask, %s, %v)", c.region, vr)
+	return vr, desc, nil
 }
 
 // metaCols maps metadata column names to integer accessors.
@@ -110,27 +287,72 @@ func cmpToPred(t core.Term, op string, num float64) core.Pred {
 	}
 }
 
-// plan compiles a parsed statement against this DB's catalog.
-func (db *DB) plan(stmt *selectStmt) (*plan, error) {
-	p := &plan{k: stmt.limit, ex: db.opts.exec()}
+// compile turns a parsed statement into a plan template: shape
+// validation and term construction happen here, parameter sites are
+// recorded as binders.
+func (db *DB) compile(stmt *selectStmt) (*planTemplate, error) {
+	t := &planTemplate{nParams: stmt.nParams}
+	p := &t.base
+
+	// LIMIT: literal now, placeholder at bind time.
+	if stmt.limit.isParam() {
+		lim := stmt.limit
+		p.k = -1
+		p.kDesc = lim.String()
+		t.binders = append(t.binders, func(p *plan, args []float64) error {
+			v := lim.value(args)
+			if v != math.Trunc(v) || v < 0 {
+				return bindErrf(lim, "LIMIT must be a non-negative integer, got %v", v)
+			}
+			p.k, p.kDesc = int(v), ""
+			return nil
+		})
+	} else {
+		p.k = int(stmt.limit.v)
+	}
 
 	// WHERE: split metadata conditions from CP predicates.
-	var metaDescs []string
-	var metaConds []func(store.Entry) bool
 	var preds core.And
+	var predDescs []string
 	termIdx := map[string]core.Term{}
 	for i := range stmt.conds {
 		c := &stmt.conds[i]
 		if c.cp != nil {
 			key := c.cp.key()
-			t, ok := termIdx[key]
+			tm, ok := termIdx[key]
 			if !ok {
-				t = core.Term(len(p.filterTerms))
-				termIdx[key] = t
+				tm = core.Term(len(p.filterTerms))
+				termIdx[key] = tm
 				p.filterTerms = append(p.filterTerms, db.term(c.cp))
 				p.filterDescs = append(p.filterDescs, c.cp.String())
+				if c.cp.hasParams() {
+					cp, ti := c.cp, int(tm)
+					t.binders = append(t.binders, func(p *plan, args []float64) error {
+						vr, desc, err := cp.bindRange(args)
+						if err != nil {
+							return err
+						}
+						p.filterTerms[ti].Range = vr
+						p.filterTerms[ti].Name = desc
+						p.filterDescs[ti] = desc
+						return nil
+					})
+				}
 			}
-			preds = append(preds, cmpToPred(t, c.op, c.num))
+			if c.num.isParam() {
+				t.predParams = true
+				pi, num, op := len(preds), c.num, c.op
+				t.binders = append(t.binders, func(p *plan, args []float64) error {
+					p.pred.(core.And)[pi] = cmpToPred(tm, op, num.value(args))
+					return nil
+				})
+				preds = append(preds, core.Cmp{T: tm})
+				predDescs = append(predDescs, fmt.Sprintf("T%d %s %s", int(tm), c.op, c.num))
+			} else {
+				pred := cmpToPred(tm, c.op, c.num.v)
+				preds = append(preds, pred)
+				predDescs = append(predDescs, pred.String())
+			}
 			continue
 		}
 		col, op := c.col, c.op
@@ -138,12 +360,9 @@ func (db *DB) plan(stmt *selectStmt) (*plan, error) {
 			if !c.isBool {
 				return nil, errAt(c.pos, "%s compares against true or false", col)
 			}
-			want := c.boolVal
-			if op == "!=" {
-				want = !want
-			}
-			metaConds = append(metaConds, func(e store.Entry) bool { return fn(e) == want })
-			metaDescs = append(metaDescs, fmt.Sprintf("%s %s %v", col, op, c.boolVal))
+			t.metas = append(t.metas, metaCond{
+				col: col, op: op, eq: op == "=", boolFn: fn, boolWant: c.boolVal,
+			})
 			continue
 		}
 		fn, ok := metaCols[col]
@@ -154,56 +373,76 @@ func (db *DB) plan(stmt *selectStmt) (*plan, error) {
 		if c.isBool {
 			return nil, errAt(c.pos, "%s compares against an integer", col)
 		}
-		want := int64(c.num)
-		eq := op == "="
-		metaConds = append(metaConds, func(e store.Entry) bool { return (fn(e) == want) == eq })
-		metaDescs = append(metaDescs, fmt.Sprintf("%s %s %d", col, op, want))
-	}
-	if len(metaConds) > 0 {
-		p.keep = func(e store.Entry) bool {
-			for _, f := range metaConds {
-				if !f(e) {
-					return false
-				}
-			}
-			return true
+		t.metas = append(t.metas, metaCond{
+			col: col, op: op, eq: op == "=", intFn: fn, num: c.num,
+		})
+		if c.num.isParam() {
+			t.metaParams = true
 		}
-		p.targetDesc = strings.Join(metaDescs, " AND ")
-	} else {
-		p.targetDesc = "all"
 	}
+	keep, desc, err := t.buildKeep(nil)
+	if err != nil {
+		return nil, err
+	}
+	p.keep, p.targetDesc = keep, desc
 	if len(preds) > 0 {
 		p.pred = preds
+		p.predDesc = strings.Join(predDescs, " AND ")
 	}
 
-	// Shape: aggregation, topk, or filter.
+	// Shape: aggregation, topk, or filter. Each returns the ranking/
+	// aggregation CP expression (nil for filter plans) so its
+	// parameter sites can be registered.
+	var score *cpExpr
 	switch {
 	case stmt.groupBy != "":
-		return db.planAgg(stmt, p)
+		score, err = db.planAgg(stmt, p)
 	case stmt.order.set:
-		return db.planTopK(stmt, p)
+		score, err = db.planTopK(stmt, p)
 	default:
-		return db.planFilter(stmt, p)
+		err = db.planFilter(stmt, p)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if score != nil {
+		p.scoreTerms = []core.CPTerm{db.term(score)}
+		p.scoreDesc = score.String()
+		if score.hasParams() {
+			cp := score
+			t.binders = append(t.binders, func(p *plan, args []float64) error {
+				vr, desc, err := cp.bindRange(args)
+				if err != nil {
+					return err
+				}
+				p.scoreTerms[0].Range = vr
+				p.scoreTerms[0].Name = desc
+				p.scoreDesc = desc
+				return nil
+			})
+		}
+	}
+	return t, nil
 }
 
 func colNames() []string {
 	return []string{"mask_id", "image_id", "model_id", "mask_type", "label", "pred", "modified", "mispredicted"}
 }
 
-func (db *DB) planFilter(stmt *selectStmt, p *plan) (*plan, error) {
+func (db *DB) planFilter(stmt *selectStmt, p *plan) error {
 	p.kind = planFilter
 	if len(stmt.cols) != 1 || stmt.cols[0].name != "mask_id" {
 		c := stmt.cols[0]
-		return nil, errAt(c.pos, "a filter query selects exactly mask_id")
+		return errAt(c.pos, "a filter query selects exactly mask_id")
 	}
 	if p.pred == nil {
 		p.pred = core.And{}
+		p.predDesc = "true"
 	}
-	return p, nil
+	return nil
 }
 
-func (db *DB) planTopK(stmt *selectStmt, p *plan) (*plan, error) {
+func (db *DB) planTopK(stmt *selectStmt, p *plan) (*cpExpr, error) {
 	p.kind = planTopK
 	p.order = orderOf(stmt.order)
 
@@ -240,12 +479,10 @@ func (db *DB) planTopK(stmt *selectStmt, p *plan) (*plan, error) {
 		c := stmt.cols[0]
 		return nil, errAt(c.pos, "a topk query must select mask_id")
 	}
-	p.scoreTerms = []core.CPTerm{db.term(score)}
-	p.scoreDesc = score.String()
-	return p, nil
+	return score, nil
 }
 
-func (db *DB) planAgg(stmt *selectStmt, p *plan) (*plan, error) {
+func (db *DB) planAgg(stmt *selectStmt, p *plan) (*cpExpr, error) {
 	p.kind = planAgg
 	p.groupBy = stmt.groupBy
 	key, ok := metaCols[stmt.groupBy]
@@ -287,8 +524,6 @@ func (db *DB) planAgg(stmt *selectStmt, p *plan) (*plan, error) {
 	if p.aggAlias == "" {
 		p.aggAlias = strings.ToLower(aggCol.agg)
 	}
-	p.scoreTerms = []core.CPTerm{db.term(aggCol.cp)}
-	p.scoreDesc = aggCol.cp.String()
 
 	if stmt.order.set {
 		if stmt.order.cp != nil || !strings.EqualFold(stmt.order.ident, p.aggAlias) {
@@ -301,7 +536,7 @@ func (db *DB) planAgg(stmt *selectStmt, p *plan) (*plan, error) {
 		p.order = core.Desc
 		p.orderBy = p.aggAlias
 	}
-	return p, nil
+	return aggCol.cp, nil
 }
 
 // execBatch runs a slice of compiled plans as one batched workload,
@@ -311,8 +546,7 @@ func (db *DB) planAgg(stmt *selectStmt, p *plan) (*plan, error) {
 // chunked early-exit scan (run after the shared round, so a
 // configured cache still serves their overlapping masks) — batching
 // must never do more I/O for them than running them alone would.
-func (db *DB) execBatch(ctx context.Context, plans []*plan) ([]*Result, error) {
-	env := db.env(db.opts.exec())
+func (db *DB) execBatch(ctx context.Context, env *core.Env, plans []*plan, qo queryOptions) ([]*Result, error) {
 	results := make([]*Result, len(plans))
 	targets := make([][]int64, len(plans))
 	nConsidered := make([]int, len(plans))
@@ -332,6 +566,11 @@ func (db *DB) execBatch(ctx context.Context, plans []*plan) ([]*Result, error) {
 			results[pi].setEmpty()
 			done[pi] = true
 			continue
+		}
+		if qo.eagerBounds {
+			if err := db.ensureBounds(ctx, env, targets[pi]); err != nil {
+				return nil, err
+			}
 		}
 		if p.kind == planFilter && len(p.filterTerms) == 0 {
 			// Metadata-only predicate: the catalog already answered it.
@@ -439,7 +678,8 @@ func orderOf(o orderSpec) core.Order {
 	return core.Asc
 }
 
-// explain renders the compiled plan.
+// explain renders the compiled plan (placeholders as ?N for unbound
+// templates, their bound values otherwise).
 func (p *plan) explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: %s\n", p.kind)
@@ -454,12 +694,10 @@ func (p *plan) explain() string {
 		if len(p.filterDescs) == 0 {
 			b.WriteString("  (none — metadata only)\n")
 		}
-		pred := "true"
-		if p.pred != nil {
-			pred = p.pred.String()
-		}
-		fmt.Fprintf(&b, "predicate: %s\n", pred)
-		if p.k >= 0 {
+		fmt.Fprintf(&b, "predicate: %s\n", p.predDesc)
+		if p.kDesc != "" {
+			fmt.Fprintf(&b, "limit: %s\n", p.kDesc)
+		} else if p.k >= 0 {
 			fmt.Fprintf(&b, "limit: %d\n", p.k)
 		}
 		b.WriteString("output: mask_id\n")
@@ -496,14 +734,17 @@ func (p *plan) explainPrefilter(b *strings.Builder) {
 	for i, d := range p.filterDescs {
 		fmt.Fprintf(b, "  T%d = %s\n", i, d)
 	}
-	fmt.Fprintf(b, "  predicate: %s\n", p.pred)
+	fmt.Fprintf(b, "  predicate: %s\n", p.predDesc)
 	b.WriteString("  (ranking runs on the filtered targets)\n")
 }
 
 func (p *plan) explainLimit(b *strings.Builder) {
-	if p.k >= 0 {
+	switch {
+	case p.kDesc != "":
+		fmt.Fprintf(b, "limit: %s\n", p.kDesc)
+	case p.k >= 0:
 		fmt.Fprintf(b, "limit: %d\n", p.k)
-	} else {
+	default:
 		b.WriteString("limit: all\n")
 	}
 }

@@ -19,12 +19,19 @@ package masksearch
 //	CP(...) is CP(mask, <region>, <lo>, <hi>) with <region> one of
 //	        object | full | rect(<x0>,<y0>,<x1>,<y1>)
 //
+// A `?` positional placeholder is legal wherever a numeric value is —
+// CP value bounds, comparison right-hand sides (CP thresholds and
+// metadata values), and LIMIT — and is bound at execution time via
+// DB.Prepare / Stmt.Query. Rect coordinates are part of the query
+// shape and must be literal.
+//
 // Examples (the two doc-comment queries of cmd/msquery):
 //
 //	SELECT mask_id FROM masks
 //	    WHERE CP(mask, object, 0.8, 1.0) > 2000 AND model_id = 1
 //	SELECT image_id, MEAN(CP(mask, object, 0.8, 1.0)) AS a FROM masks
 //	    GROUP BY image_id ORDER BY a DESC LIMIT 25
+//	SELECT mask_id FROM masks WHERE CP(mask, object, ?, ?) > ?
 
 import (
 	"fmt"
@@ -46,7 +53,10 @@ func errAt(p pos, format string, args ...any) error {
 	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
 }
 
-type pos struct{ line, col int }
+// pos is a source position: 1-based line/column for error messages
+// plus the byte offset of the token start (used by SplitStatements to
+// slice statements out of the source verbatim).
+type pos struct{ line, col, off int }
 
 type tokKind int
 
@@ -58,6 +68,9 @@ const (
 	tokComma
 	tokLParen
 	tokRParen
+	tokPlaceholder // ?
+	tokSemicolon   // ;
+	tokString      // '...' (no grammar production uses strings yet, but the lexer understands them so statement splitting never cuts inside one)
 )
 
 type token struct {
@@ -94,16 +107,41 @@ func lex(src string) ([]token, error) {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			adv(1)
 		case c == ',':
-			toks = append(toks, token{tokComma, ",", pos{line, col}})
+			toks = append(toks, token{tokComma, ",", pos{line, col, i}})
 			adv(1)
 		case c == '(':
-			toks = append(toks, token{tokLParen, "(", pos{line, col}})
+			toks = append(toks, token{tokLParen, "(", pos{line, col, i}})
 			adv(1)
 		case c == ')':
-			toks = append(toks, token{tokRParen, ")", pos{line, col}})
+			toks = append(toks, token{tokRParen, ")", pos{line, col, i}})
 			adv(1)
+		case c == '?':
+			toks = append(toks, token{tokPlaceholder, "?", pos{line, col, i}})
+			adv(1)
+		case c == ';':
+			toks = append(toks, token{tokSemicolon, ";", pos{line, col, i}})
+			adv(1)
+		case c == '\'':
+			p := pos{line, col, i}
+			j := i + 1
+			for {
+				if j >= len(src) {
+					return nil, &ParseError{p.line, p.col, "unterminated string literal"}
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // '' escapes a quote
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokString, src[i:j], p})
+			adv(j - i)
 		case c == '>' || c == '<':
-			p := pos{line, col}
+			p := pos{line, col, i}
 			op := string(c)
 			if i+1 < len(src) && src[i+1] == '=' {
 				op += "="
@@ -111,16 +149,16 @@ func lex(src string) ([]token, error) {
 			toks = append(toks, token{tokOp, op, p})
 			adv(len(op))
 		case c == '=':
-			toks = append(toks, token{tokOp, "=", pos{line, col}})
+			toks = append(toks, token{tokOp, "=", pos{line, col, i}})
 			adv(1)
 		case c == '!':
 			if i+1 >= len(src) || src[i+1] != '=' {
 				return nil, &ParseError{line, col, "unexpected character '!'"}
 			}
-			toks = append(toks, token{tokOp, "!=", pos{line, col}})
+			toks = append(toks, token{tokOp, "!=", pos{line, col, i}})
 			adv(2)
 		case c >= '0' && c <= '9' || c == '.':
-			p := pos{line, col}
+			p := pos{line, col, i}
 			j := i
 			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
 				j++
@@ -132,7 +170,7 @@ func lex(src string) ([]token, error) {
 			toks = append(toks, token{tokNumber, text, p})
 			adv(j - i)
 		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
-			p := pos{line, col}
+			p := pos{line, col, i}
 			j := i
 			for j < len(src) && (src[j] == '_' || src[j] >= 'a' && src[j] <= 'z' ||
 				src[j] >= 'A' && src[j] <= 'Z' || src[j] >= '0' && src[j] <= '9') {
@@ -144,11 +182,66 @@ func lex(src string) ([]token, error) {
 			return nil, &ParseError{line, col, fmt.Sprintf("unexpected character %q", string(c))}
 		}
 	}
-	toks = append(toks, token{tokEOF, "", pos{line, col}})
+	toks = append(toks, token{tokEOF, "", pos{line, col, len(src)}})
 	return toks, nil
 }
 
+// SplitStatements splits src into its ';'-separated msquery
+// statements using the lexer, so a ';' inside a quoted string literal
+// never cuts a statement in half (a naive strings.Split would).
+// Surrounding whitespace is trimmed and empty statements are dropped;
+// a malformed source (e.g. an unterminated string) returns a
+// positioned *ParseError.
+func SplitStatements(src string) ([]string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	start := 0
+	for _, t := range toks {
+		if t.kind != tokSemicolon && t.kind != tokEOF {
+			continue
+		}
+		if stmt := strings.TrimSpace(src[start:t.pos.off]); stmt != "" {
+			out = append(out, stmt)
+		}
+		start = t.pos.off + 1
+	}
+	return out, nil
+}
+
 // --- AST ---
+
+// numVal is a numeric value in the AST: either a literal or a `?`
+// placeholder whose value arrives at bind time.
+type numVal struct {
+	v     float64
+	param int // -1 for literals, else the 0-based placeholder index
+	pos   pos
+}
+
+func litNum(v float64, p pos) numVal { return numVal{v: v, param: -1, pos: p} }
+
+func (n numVal) isParam() bool { return n.param >= 0 }
+
+// value resolves the numVal against bound arguments. args must cover
+// the statement's full parameter count (enforced by bind).
+func (n numVal) value(args []float64) float64 {
+	if n.isParam() {
+		return args[n.param]
+	}
+	return n.v
+}
+
+// String renders literals like the lexer saw them and placeholders in
+// the 1-based ?N display form used by EXPLAIN.
+func (n numVal) String() string {
+	if n.isParam() {
+		return fmt.Sprintf("?%d", n.param+1)
+	}
+	return strconv.FormatFloat(n.v, 'g', -1, 64)
+}
 
 type regionKind int
 
@@ -176,16 +269,30 @@ func (r regionSpec) String() string {
 
 type cpExpr struct {
 	region regionSpec
-	vr     core.ValueRange
+	lo, hi numVal
 	pos    pos
 }
 
+// rangeString renders the value range: the exact core.ValueRange form
+// for literals, the ?N display form for placeholders.
+func (c *cpExpr) rangeString() string {
+	if !c.lo.isParam() && !c.hi.isParam() {
+		return core.ValueRange{Lo: c.lo.v, Hi: c.hi.v}.String()
+	}
+	return fmt.Sprintf("[%s, %s]", c.lo, c.hi)
+}
+
 func (c *cpExpr) String() string {
-	return fmt.Sprintf("CP(mask, %s, %v)", c.region, c.vr)
+	return fmt.Sprintf("CP(mask, %s, %s)", c.region, c.rangeString())
 }
 
 // key identifies structurally equal CP expressions for term dedup.
+// Placeholder indices are part of the key: two distinct `?` sites may
+// bind different values, so they never collapse into one term.
 func (c *cpExpr) key() string { return c.String() }
+
+// hasParams reports whether either value bound is a placeholder.
+func (c *cpExpr) hasParams() bool { return c.lo.isParam() || c.hi.isParam() }
 
 type selCol struct {
 	pos   pos
@@ -200,7 +307,7 @@ type cond struct {
 	cp      *cpExpr // nil for metadata conditions
 	col     string
 	op      string
-	num     float64
+	num     numVal
 	boolVal bool
 	isBool  bool
 }
@@ -219,14 +326,16 @@ type selectStmt struct {
 	groupBy  string
 	groupPos pos
 	order    orderSpec
-	limit    int
+	limit    numVal // literal -1 when no LIMIT clause is present
+	nParams  int    // number of `?` placeholders in the statement
 }
 
 // --- parser ---
 
 type parser struct {
-	toks []token
-	i    int
+	toks    []token
+	i       int
+	nParams int // placeholders consumed so far, in source order
 }
 
 func parseQuery(src string) (*selectStmt, error) {
@@ -245,6 +354,7 @@ func parseQuery(src string) (*selectStmt, error) {
 	if t := p.peek(); t.kind != tokEOF {
 		return nil, errAt(t.pos, "unexpected trailing input starting at %s", t.describe())
 	}
+	stmt.nParams = p.nParams
 	return stmt, nil
 }
 
@@ -288,11 +398,28 @@ func (p *parser) number(what string) (float64, token, error) {
 	return v, t, nil
 }
 
+// numberOrParam accepts a numeric literal or a `?` placeholder.
+// Placeholder indices are assigned in source order as they are
+// consumed (parsing is strictly left-to-right).
+func (p *parser) numberOrParam(what string) (numVal, error) {
+	if t := p.peek(); t.kind == tokPlaceholder {
+		p.next()
+		n := numVal{param: p.nParams, pos: t.pos}
+		p.nParams++
+		return n, nil
+	}
+	v, t, err := p.number(what)
+	if err != nil {
+		return numVal{}, err
+	}
+	return litNum(v, t.pos), nil
+}
+
 func (p *parser) parseSelect() (*selectStmt, error) {
 	if _, err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	stmt := &selectStmt{limit: -1} // -1: no LIMIT clause
+	stmt := &selectStmt{limit: litNum(-1, pos{})} // -1: no LIMIT clause
 	for {
 		col, err := p.parseSelCol()
 		if err != nil {
@@ -367,14 +494,14 @@ func (p *parser) parseSelect() (*selectStmt, error) {
 	}
 	if keywordIs(p.peek(), "LIMIT") {
 		p.next()
-		v, t, err := p.number("a row count after LIMIT")
+		n, err := p.numberOrParam("a row count after LIMIT")
 		if err != nil {
 			return nil, err
 		}
-		if v != float64(int(v)) || v < 0 {
-			return nil, errAt(t.pos, "LIMIT must be a non-negative integer, got %q", t.text)
+		if !n.isParam() && (n.v != float64(int(n.v)) || n.v < 0) {
+			return nil, errAt(n.pos, "LIMIT must be a non-negative integer, got %q", n)
 		}
-		stmt.limit = int(v)
+		stmt.limit = n
 	}
 	return stmt, nil
 }
@@ -445,30 +572,32 @@ func (p *parser) parseCP() (*cpExpr, error) {
 	if _, err := p.expect(tokComma, "a comma in CP(mask, region, lo, hi)"); err != nil {
 		return nil, err
 	}
-	lo, loTok, err := p.number("CP's lower value bound")
+	lo, err := p.numberOrParam("CP's lower value bound")
 	if err != nil {
 		return nil, err
 	}
 	if _, err := p.expect(tokComma, "a comma in CP(mask, region, lo, hi)"); err != nil {
 		return nil, err
 	}
-	hi, hiTok, err := p.number("CP's upper value bound")
+	hi, err := p.numberOrParam("CP's upper value bound")
 	if err != nil {
 		return nil, err
 	}
 	if _, err := p.expect(tokRParen, ") closing CP(...)"); err != nil {
 		return nil, err
 	}
-	if lo < 0 || lo > 1 {
-		return nil, errAt(loTok.pos, "CP value bounds must lie in [0, 1], got %g", lo)
+	// Literal bounds are checked here; placeholder bounds get the same
+	// checks at bind time (planTemplate.bind).
+	if !lo.isParam() && (lo.v < 0 || lo.v > 1) {
+		return nil, errAt(lo.pos, "CP value bounds must lie in [0, 1], got %g", lo.v)
 	}
-	if hi < 0 || hi > 1 {
-		return nil, errAt(hiTok.pos, "CP value bounds must lie in [0, 1], got %g", hi)
+	if !hi.isParam() && (hi.v < 0 || hi.v > 1) {
+		return nil, errAt(hi.pos, "CP value bounds must lie in [0, 1], got %g", hi.v)
 	}
-	if hi < lo {
-		return nil, errAt(hiTok.pos, "CP value range is empty: lo %g > hi %g", lo, hi)
+	if !lo.isParam() && !hi.isParam() && hi.v < lo.v {
+		return nil, errAt(hi.pos, "CP value range is empty: lo %g > hi %g", lo.v, hi.v)
 	}
-	cp.vr = core.ValueRange{Lo: lo, Hi: hi}
+	cp.lo, cp.hi = lo, hi
 	return cp, nil
 }
 
@@ -528,11 +657,11 @@ func (p *parser) parseCond() (cond, error) {
 		default:
 			return c, errAt(op.pos, "CP predicates support > >= < <=, got %q", op.text)
 		}
-		v, _, err := p.number("a numeric threshold")
+		n, err := p.numberOrParam("a numeric threshold")
 		if err != nil {
 			return c, err
 		}
-		c.num = v
+		c.num = n
 		return c, nil
 	}
 	id, err := p.expect(tokIdent, "a condition (CP(...) or a metadata column)")
@@ -555,7 +684,11 @@ func (p *parser) parseCond() (cond, error) {
 		if v != float64(int64(v)) {
 			return c, errAt(vt.pos, "metadata values must be integers, got %q", vt.text)
 		}
-		c.num = v
+		c.num = litNum(v, vt.pos)
+	case vt.kind == tokPlaceholder:
+		// Integer-ness is checked at bind time.
+		c.num = numVal{param: p.nParams, pos: vt.pos}
+		p.nParams++
 	case keywordIs(vt, "true") || keywordIs(vt, "false"):
 		c.isBool = true
 		c.boolVal = keywordIs(vt, "true")

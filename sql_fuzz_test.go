@@ -41,11 +41,41 @@ func FuzzParse(f *testing.F) {
 		`SELECT mask_id FROM masks WHERE rect(1,2,3`,
 		`((((`,
 		`SELECT 1.2.3 FROM masks`,
+		// Placeholder shapes (ISSUE 5): every legal `?` site, plus
+		// illegal sites the parser must reject cleanly.
+		`SELECT mask_id FROM masks WHERE CP(mask, object, ?, ?) > ? AND model_id = ? LIMIT ?`,
+		`SELECT mask_id FROM masks WHERE CP(mask, full, ?, 1.0) > 5`,
+		`SELECT image_id, MEAN(CP(mask, object, ?, 1.0)) AS a FROM masks GROUP BY image_id ORDER BY a DESC LIMIT ?`,
+		`SELECT mask_id FROM masks ORDER BY CP(mask, full, ?, ?) DESC LIMIT ?`,
+		`SELECT mask_id FROM masks WHERE CP(mask, rect(?,0,4,4), 0.5, 1.0) > 5`,
+		`SELECT ? FROM masks`,
+		`SELECT mask_id FROM masks WHERE modified = ?`,
+		`???`,
+		// Statement separators and string literals (SplitStatements).
+		`SELECT mask_id FROM masks; SELECT mask_id FROM masks LIMIT 3`,
+		`SELECT mask_id FROM masks WHERE note = 'a;b'; SELECT mask_id FROM masks`,
+		`'unterminated`,
+		`'it''s'; ;`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
+		// Statement splitting shares the lexer; it must never panic,
+		// and its pieces must re-split to themselves (fixed point).
+		if stmts, err := SplitStatements(src); err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("SplitStatements(%q) returned a %T, want *ParseError: %v", src, err, err)
+			}
+		} else {
+			for _, s := range stmts {
+				again, err := SplitStatements(s)
+				if err != nil || len(again) != 1 || again[0] != s {
+					t.Fatalf("SplitStatements(%q) piece %q is not a fixed point: %q, %v", src, s, again, err)
+				}
+			}
+		}
 		stmt, err := parseQuery(src)
 		if err != nil {
 			var pe *ParseError
@@ -59,6 +89,9 @@ func FuzzParse(f *testing.F) {
 		}
 		if stmt == nil || len(stmt.cols) == 0 {
 			t.Fatalf("parseQuery(%q) returned neither statement nor error", src)
+		}
+		if stmt.nParams < 0 {
+			t.Fatalf("parseQuery(%q) returned negative param count", src)
 		}
 	})
 }

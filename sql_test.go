@@ -1,6 +1,8 @@
 package masksearch
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -95,6 +97,196 @@ output: mask_id
 	}
 }
 
+// TestExplainParameterizedGolden pins the EXPLAIN rendering of
+// parameterized plans in both forms: the unbound template
+// (placeholders as ?N) and the plan bound to concrete arguments.
+func TestExplainParameterizedGolden(t *testing.T) {
+	db := openGolden(t)
+	cases := []struct {
+		name, sql             string
+		args                  []any
+		wantUnbound, wantBind string
+	}{
+		{
+			name: "filter_all_sites",
+			sql:  `SELECT mask_id FROM masks WHERE CP(mask, object, ?, ?) > ? AND model_id = ? LIMIT ?`,
+			args: []any{0.8, 1.0, 2000, 1, 10},
+			wantUnbound: `plan: filter
+source: masks
+targets: model_id = ?4
+terms:
+  T0 = CP(mask, object, [?1, ?2])
+predicate: T0 > ?3
+limit: ?5
+output: mask_id
+`,
+			wantBind: `plan: filter
+source: masks
+targets: model_id = 1
+terms:
+  T0 = CP(mask, object, [0.8, 1.0])
+predicate: T0 > 2000
+limit: 10
+output: mask_id
+`,
+		},
+		{
+			name: "topk_prefilter_threshold",
+			sql:  `SELECT mask_id FROM masks WHERE CP(mask, object, 0.5, 1.0) > ? ORDER BY CP(mask, full, ?, 1.0) ASC LIMIT 4`,
+			args: []any{25, 0.7},
+			wantUnbound: `plan: topk
+source: masks
+targets: all
+pre-filter:
+  T0 = CP(mask, object, [0.5, 1.0])
+  predicate: T0 > ?1
+  (ranking runs on the filtered targets)
+terms:
+  T0 = CP(mask, full, [?2, 1])
+order by: T0 ASC
+limit: 4
+output: mask_id, score
+`,
+			wantBind: `plan: topk
+source: masks
+targets: all
+pre-filter:
+  T0 = CP(mask, object, [0.5, 1.0])
+  predicate: T0 > 25
+  (ranking runs on the filtered targets)
+terms:
+  T0 = CP(mask, full, [0.7, 1.0])
+order by: T0 ASC
+limit: 4
+output: mask_id, score
+`,
+		},
+		{
+			name: "agg_bound",
+			sql:  `SELECT image_id, MEAN(CP(mask, object, ?, 1.0)) AS a FROM masks GROUP BY image_id ORDER BY a DESC LIMIT 5`,
+			args: []any{0.6},
+			wantUnbound: `plan: aggregation
+source: masks
+targets: all
+group by: image_id
+terms:
+  T0 = CP(mask, object, [?1, 1])
+aggregate: a = MEAN(T0)
+order by: a DESC
+limit: 5
+output: image_id, a
+`,
+			wantBind: `plan: aggregation
+source: masks
+targets: all
+group by: image_id
+terms:
+  T0 = CP(mask, object, [0.6, 1.0])
+aggregate: a = MEAN(T0)
+order by: a DESC
+limit: 5
+output: image_id, a
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := db.Explain(tc.sql)
+			if err != nil {
+				t.Fatalf("Explain(%q): %v", tc.sql, err)
+			}
+			if got != tc.wantUnbound {
+				t.Fatalf("unbound Explain mismatch:\n--- got ---\n%s--- want ---\n%s", got, tc.wantUnbound)
+			}
+			got, err = db.Explain(tc.sql, tc.args...)
+			if err != nil {
+				t.Fatalf("Explain(%q, %v): %v", tc.sql, tc.args, err)
+			}
+			if got != tc.wantBind {
+				t.Fatalf("bound Explain mismatch:\n--- got ---\n%s--- want ---\n%s", got, tc.wantBind)
+			}
+		})
+	}
+}
+
+// TestBindErrors pins the bind-time checking contract: arity, type
+// and per-site range errors all surface as *BindError before any
+// execution happens.
+func TestBindErrors(t *testing.T) {
+	db := openGolden(t)
+	ctx := t.Context()
+	cases := []struct {
+		name, sql string
+		args      []any
+		want      string
+	}{
+		{"arity_low", `SELECT mask_id FROM masks WHERE CP(mask, full, ?, 1.0) > 5`, nil,
+			"bind: statement has 1 parameter(s), got 0 argument(s)"},
+		{"arity_high", `SELECT mask_id FROM masks LIMIT ?`, []any{1, 2},
+			"bind: statement has 1 parameter(s), got 2 argument(s)"},
+		{"cp_bound_range", `SELECT mask_id FROM masks WHERE CP(mask, full, ?, 1.0) > 5`, []any{1.5},
+			"bind ?1: CP value bounds must lie in [0, 1], got 1.5"},
+		{"cp_empty_range", `SELECT mask_id FROM masks WHERE CP(mask, full, ?, ?) > 5`, []any{0.9, 0.2},
+			"bind ?2: CP value range is empty: lo 0.9 > hi 0.2"},
+		{"limit_fractional", `SELECT mask_id FROM masks LIMIT ?`, []any{2.5},
+			"bind ?1: LIMIT must be a non-negative integer, got 2.5"},
+		{"limit_negative", `SELECT mask_id FROM masks LIMIT ?`, []any{-1},
+			"bind ?1: LIMIT must be a non-negative integer, got -1"},
+		{"meta_fractional", `SELECT mask_id FROM masks WHERE model_id = ?`, []any{1.5},
+			"bind ?1: model_id compares against an integer, got 1.5"},
+		{"bad_type", `SELECT mask_id FROM masks LIMIT ?`, []any{"ten"},
+			"bind ?1: unsupported argument type string (numeric types only)"},
+		{"not_finite", `SELECT mask_id FROM masks LIMIT ?`, []any{math.NaN()},
+			"bind ?1: argument must be a finite number, got NaN"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := db.Query(ctx, tc.sql, tc.args...)
+			if err == nil {
+				t.Fatalf("Query(%q, %v) succeeded, want bind error", tc.sql, tc.args)
+			}
+			var be *BindError
+			if !errors.As(err, &be) {
+				t.Fatalf("Query(%q) returned %T, want *BindError: %v", tc.sql, err, err)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error mismatch:\ngot  %s\nwant %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSplitStatements pins the lexer-driven statement splitting: a
+// ';' inside a string literal never cuts a statement (the naive
+// strings.Split it replaced corrupted exactly that case).
+func TestSplitStatements(t *testing.T) {
+	got, err := SplitStatements("SELECT mask_id FROM masks WHERE note = 'a;b' ; \n SELECT mask_id FROM masks LIMIT 3;;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"SELECT mask_id FROM masks WHERE note = 'a;b'",
+		"SELECT mask_id FROM masks LIMIT 3",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SplitStatements returned %d statements %q, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("statement %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	if out, err := SplitStatements("   \n  "); err != nil || len(out) != 0 {
+		t.Fatalf("blank input: got %q, %v", out, err)
+	}
+	if _, err := SplitStatements("SELECT mask_id FROM masks WHERE note = 'oops"); err == nil {
+		t.Fatal("unterminated string should fail to split")
+	} else if err.Error() != "1:40: unterminated string literal" {
+		t.Fatalf("unterminated string error = %q", err)
+	}
+}
+
 // TestParseErrorsGolden pins the error messages for malformed queries.
 func TestParseErrorsGolden(t *testing.T) {
 	db := openGolden(t)
@@ -133,6 +325,10 @@ func TestParseErrorsGolden(t *testing.T) {
 			`1:35: unexpected trailing input starting at "5"`},
 		{"stray_character", `SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > #`,
 			`1:62: unexpected character "#"`},
+		{"placeholder_in_rect", `SELECT mask_id FROM masks WHERE CP(mask, rect(?,0,4,4), 0.5, 1.0) > 5`,
+			`1:47: expected a rect coordinate, got "?"`},
+		{"placeholder_as_column", `SELECT ? FROM masks`,
+			`1:8: expected a column or expression in SELECT, got "?"`},
 		{"empty_query", `   `,
 			`1:1: empty query`},
 	}
