@@ -12,6 +12,7 @@
 //	msbench -data data -exp multiquery
 //	msbench -data data -exp shard
 //	msbench -data data -exp prepare
+//	msbench -data data -exp serve
 //
 // Experiments: fig7 (incl. Table 2), fig8, fig9, fig10, fig11 (incl.
 // the ratio subfigures), size, ablation, sweep, engine (sequential vs
@@ -21,7 +22,9 @@
 // asserted; always writes BENCH_shard.json), prepare (prepared
 // statements vs per-call parse+plan, plus streaming first-row
 // latency, amortization and identical results asserted; always
-// writes BENCH_prepare.json), all.
+// writes BENCH_prepare.json), serve (concurrent HTTP clients against
+// an in-process msserve, byte-identical results, plan-cache hits and
+// the admission bound asserted; always writes BENCH_serve.json), all.
 //
 // -workers sizes the engine worker pool for the figure experiments
 // (default 1, the sequential engine, so their masks-loaded/FML tables
@@ -55,7 +58,7 @@ func main() {
 
 	var (
 		dataDir = flag.String("data", "data", "directory for generated datasets")
-		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|prepare|all")
+		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|prepare|serve|all")
 		dataset = flag.String("dataset", "both", "dataset: wilds-sim|imagenet-sim|both")
 		queries = flag.Int("queries", 0, "override query count for fig8/fig9/ablation/sweep")
 		wqs     = flag.Int("workload-queries", 0, "override workload length for fig11")
@@ -66,7 +69,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "prepare", "all"}
+	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "prepare", "serve", "all"}
 	if !slices.Contains(validExps, *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(validExps, ", "))
 		os.Exit(2)
@@ -116,6 +119,7 @@ func main() {
 	var mqRows []bench.MultiQueryRow
 	var shardRows []bench.ShardRow
 	var prepRows []bench.PrepareRow
+	var serveRows []bench.ServeRow
 	run := func(name string, f func(d *bench.DatasetEnv) (fmt.Stringer, error)) {
 		for _, d := range envs {
 			log.Printf("running %s on %s", name, d.Params.Name)
@@ -138,6 +142,8 @@ func main() {
 				shardRows = append(shardRows, er.Rows...)
 			case *bench.PrepareReport:
 				prepRows = append(prepRows, er.Rows...)
+			case *bench.ServeReport:
+				serveRows = append(serveRows, er.Rows...)
 			default:
 				rows = append(rows, bench.EngineRow{
 					Exp: name, Dataset: d.Params.Name, Mode: "report", Queries: 1,
@@ -217,6 +223,11 @@ func main() {
 			return bench.Prepare(ctx, d, max(1, cfg.NQueries/10), cfg.Seed)
 		})
 	}
+	if want("serve") {
+		run("serve", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Serve(ctx, d, max(1, cfg.NQueries/10), cfg.Seed)
+		})
+	}
 	if len(mqRows) > 0 {
 		writeJSON("BENCH_multiquery.json", *workers, mqRows)
 	}
@@ -225,6 +236,9 @@ func main() {
 	}
 	if len(prepRows) > 0 {
 		writeJSON("BENCH_prepare.json", *workers, prepRows)
+	}
+	if len(serveRows) > 0 {
+		writeJSON("BENCH_serve.json", *workers, serveRows)
 	}
 	if *jsonOut {
 		writeJSON("BENCH_engine.json", *workers, rows)

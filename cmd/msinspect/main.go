@@ -43,17 +43,21 @@ func main() {
 	defer db.Close()
 	// Runs before db.Close: account every byte this inspection cost,
 	// including what the store's mask cache absorbed; on a sharded
-	// database, also how the traffic split across shards.
+	// database, also how the traffic split across shards. One unified
+	// snapshot covers the store, the plan cache and the index.
 	defer func() {
-		rs := db.ReadStats()
+		st := db.Stats()
+		rs := st.Reads
 		fmt.Printf("\nstore reads: %d masks, %d regions, %d bytes (cache: %d hits, %d misses, %d evicted)\n",
 			rs.MasksLoaded, rs.RegionReads, rs.BytesRead, rs.CacheHits, rs.CacheMisses, rs.CacheEvicted)
-		if db.Shards() > 1 {
-			for i, srs := range db.ShardReadStats() {
+		if st.Shards > 1 {
+			for i, srs := range st.ShardReads {
 				fmt.Printf("  shard %03d: %d masks, %d regions, %d bytes\n",
 					i, srs.MasksLoaded, srs.RegionReads, srs.BytesRead)
 			}
 		}
+		fmt.Printf("plan cache: %d entries, %d hits, %d misses\n",
+			st.PlanCache.Entries, st.PlanCache.Hits, st.PlanCache.Misses)
 	}()
 
 	if *maskID == 0 {

@@ -1,0 +1,192 @@
+package masksearch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// concurrentStatements are the shapes the hammer test mixes: a CP
+// filter, a LIMIT'd filter, a ranking, and an aggregation, plus one
+// parameterized shape driven through a shared prepared statement.
+var concurrentStatements = []string{
+	`SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > 20`,
+	`SELECT mask_id FROM masks WHERE CP(mask, full, 0.6, 1.0) > 100 LIMIT 7`,
+	`SELECT mask_id FROM masks ORDER BY CP(mask, full, 0.5, 1.0) DESC LIMIT 10`,
+	`SELECT image_id, MEAN(CP(mask, object, 0.5, 1.0)) AS a FROM masks GROUP BY image_id ORDER BY a DESC LIMIT 6`,
+}
+
+const concurrentParamSQL = `SELECT mask_id FROM masks WHERE CP(mask, full, ?, 1.0) > ?`
+
+// TestConcurrentFacade hammers one DB from many goroutines mixing
+// Query, drained and early-stopped Rows, QueryBatch and a shared
+// Stmt's Query/QueryBatch, under the race detector. Every completed
+// call must byte-match the sequentially computed reference; calls
+// whose context is cancelled mid-request may instead fail with the
+// context error.
+func TestConcurrentFacade(t *testing.T) {
+	dir := t.TempDir()
+	spec := TinyDataset()
+	spec.Images = 24
+	if err := GenerateDataset(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenWith(dir, Options{
+		PersistIndexOnClose: false,
+		Workers:             2,
+		CacheBytes:          CacheUnbounded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	// Sequential reference results for every shape and parameter set.
+	want := make(map[string]*Result)
+	for _, q := range concurrentStatements {
+		res, err := db.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res
+	}
+	paramSets := [][]any{{0.3, 50}, {0.5, 100}, {0.7, 200}}
+	pstmt, err := db.Prepare(concurrentParamSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParam := make([]*Result, len(paramSets))
+	for i, args := range paramSets {
+		if wantParam[i], err = pstmt.Query(ctx, args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	checkResult := func(tag string, got, want *Result) error {
+		if got.Kind != want.Kind {
+			return fmt.Errorf("%s: kind %v, want %v", tag, got.Kind, want.Kind)
+		}
+		if len(got.IDs) != len(want.IDs) || len(got.Ranked) != len(want.Ranked) {
+			return fmt.Errorf("%s: %d ids/%d ranked, want %d/%d", tag, len(got.IDs), len(got.Ranked), len(want.IDs), len(want.Ranked))
+		}
+		for i := range got.IDs {
+			if got.IDs[i] != want.IDs[i] {
+				return fmt.Errorf("%s: id[%d] = %d, want %d", tag, i, got.IDs[i], want.IDs[i])
+			}
+		}
+		for i := range got.Ranked {
+			if got.Ranked[i] != want.Ranked[i] {
+				return fmt.Errorf("%s: ranked[%d] = %v, want %v", tag, i, got.Ranked[i], want.Ranked[i])
+			}
+		}
+		return nil
+	}
+
+	const goroutines = 8
+	const iters = 6
+	errc := make(chan error, goroutines*iters)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				switch (g + it) % 6 {
+				case 0: // plain Query
+					q := concurrentStatements[(g+it)%len(concurrentStatements)]
+					res, err := db.Query(ctx, q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if err := checkResult("Query", res, want[q]); err != nil {
+						errc <- err
+						return
+					}
+				case 1: // drained Rows against the filter reference
+					q := concurrentStatements[0]
+					var ids []int64
+					for r, err := range db.Rows(ctx, q) {
+						if err != nil {
+							errc <- err
+							return
+						}
+						ids = append(ids, r.ID)
+					}
+					if err := checkResult("Rows", &Result{Kind: want[q].Kind, IDs: ids}, want[q]); err != nil {
+						errc <- err
+						return
+					}
+				case 2: // early-stopped Rows: prefix of the reference
+					q := concurrentStatements[0]
+					var got []int64
+					for r, err := range db.Rows(ctx, q) {
+						if err != nil {
+							errc <- err
+							return
+						}
+						got = append(got, r.ID)
+						if len(got) == 3 {
+							break
+						}
+					}
+					for i := range got {
+						if got[i] != want[q].IDs[i] {
+							errc <- fmt.Errorf("Rows early-stop: id[%d] = %d, want %d", i, got[i], want[q].IDs[i])
+							return
+						}
+					}
+				case 3: // multi-statement QueryBatch
+					results, err := db.QueryBatch(ctx, concurrentStatements)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i, res := range results {
+						if err := checkResult("QueryBatch", res, want[concurrentStatements[i]]); err != nil {
+							errc <- err
+							return
+						}
+					}
+				case 4: // shared prepared statement sweep
+					results, err := pstmt.QueryBatch(ctx, paramSets)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i, res := range results {
+						if err := checkResult("Stmt.QueryBatch", res, wantParam[i]); err != nil {
+							errc <- err
+							return
+						}
+					}
+				case 5: // mid-request cancellation: either the full result
+					// or a context error, never a partial/bogus answer.
+					cctx, cancel := context.WithCancel(ctx)
+					timer := time.AfterFunc(time.Duration(50*(g+1))*time.Microsecond, cancel)
+					res, err := db.Query(cctx, concurrentStatements[2])
+					timer.Stop()
+					cancel()
+					if err != nil {
+						if !errors.Is(err, context.Canceled) {
+							errc <- fmt.Errorf("cancelled Query: %v", err)
+							return
+						}
+					} else if err := checkResult("cancelled Query", res, want[concurrentStatements[2]]); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -2,15 +2,23 @@ package masksearch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"masksearch/internal/core"
 	"masksearch/internal/store"
 )
+
+// ErrClosed is returned by every operation started after DB.Close. A
+// query that was already executing when Close was called is unaffected:
+// Close drains in-flight work before tearing the store down, so
+// concurrent callers never observe a read against a closed file.
+var ErrClosed = errors.New("masksearch: database is closed")
 
 // Sentinel values of Options.CacheBytes, documented here once: the
 // store's shared LRU mask cache is either off, bounded by a positive
@@ -110,7 +118,31 @@ type DB struct {
 	plans *planCache
 
 	dirty atomic.Bool // index changed since open
+
+	// closemu serializes Close against in-flight operations: every
+	// store-touching entry point holds the read side for its whole
+	// execution, and Close takes the write side — so it blocks until
+	// running queries drain, then flips closed, and every later
+	// operation fails fast with ErrClosed instead of racing the store
+	// teardown.
+	closemu sync.RWMutex
+	closed  bool
 }
+
+// beginOp admits one store-touching operation, failing with ErrClosed
+// once Close has run. The caller must pair it with endOp. Operations
+// hold only the read side, so any number run concurrently; Close's
+// write lock waits for all of them.
+func (db *DB) beginOp() error {
+	db.closemu.RLock()
+	if db.closed {
+		db.closemu.RUnlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+func (db *DB) endOp() { db.closemu.RUnlock() }
 
 // Open opens a mask database with default options: lazy incremental
 // indexing, persisted across sessions.
@@ -178,8 +210,17 @@ func (db *DB) loadPersistedIndex(cfg core.Config) *core.MemoryIndex {
 	return ix
 }
 
-// Close persists the index if configured and releases the store.
+// Close persists the index if configured and releases the store. It
+// first drains: queries that are already executing run to completion,
+// while operations started after Close begins return ErrClosed. Close
+// is idempotent — repeated calls return nil without re-tearing down.
 func (db *DB) Close() error {
+	db.closemu.Lock()
+	defer db.closemu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
 	var ferr error
 	if db.opts.PersistIndexOnClose && db.dirty.Load() {
 		ferr = db.persistIndex()
@@ -273,7 +314,13 @@ func (db *DB) Entry(id int64) (CatalogEntry, error) { return db.cat.Entry(id) }
 // LoadMask reads one mask from disk (counted in the store's stats).
 // With Options.CacheBytes configured the returned mask may be shared
 // with the cache and must be treated as read-only.
-func (db *DB) LoadMask(id int64) (*Mask, error) { return db.st.LoadMask(id) }
+func (db *DB) LoadMask(id int64) (*Mask, error) {
+	if err := db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer db.endOp()
+	return db.st.LoadMask(id)
+}
 
 // ReadStats reports the store's read counters — disk traffic plus the
 // mask cache's hit/miss/evicted counts — accumulated since open. For
@@ -297,6 +344,38 @@ func (db *DB) ShardReadStats() []ReadStats {
 		return ss.ShardStats()
 	}
 	return []ReadStats{db.st.Stats()}
+}
+
+// DBStats is the unified observability snapshot of one DB: storage
+// traffic (aggregate and per shard), plan-template cache traffic, and
+// the index footprint, taken together so consumers like `/metrics` and
+// msinspect don't assemble it piecemeal from four calls.
+type DBStats struct {
+	// Reads is the store's read counters since open (ReadStats).
+	Reads ReadStats
+	// ShardReads is the per-shard split of Reads; a single-segment
+	// database reports one entry equal to Reads.
+	ShardReads []ReadStats
+	// Shards is the storage shard count (1 for a single segment).
+	Shards int
+	// PlanCache is the plan-template cache's traffic since open.
+	PlanCache PlanCacheStats
+	// Index is the CHI index footprint.
+	Index IndexStats
+}
+
+// Stats returns one coherent observability snapshot of the DB. The
+// counters are read in one pass but not atomically across subsystems;
+// treat cross-field arithmetic as approximate under concurrent load.
+func (db *DB) Stats() DBStats {
+	s := DBStats{
+		Reads:      db.st.Stats(),
+		ShardReads: db.ShardReadStats(),
+		Shards:     db.Shards(),
+		PlanCache:  db.plans.stats(),
+	}
+	s.Index, _ = db.IndexStats()
+	return s
 }
 
 // IndexStats reports the current index footprint.
@@ -443,6 +522,10 @@ func (db *DB) QueryBatch(ctx context.Context, sqls []string, opts ...QueryOpt) (
 	if err != nil {
 		return nil, err
 	}
+	if err := db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer db.endOp()
 	return db.execBatch(ctx, env, plans, qo)
 }
 

@@ -1,0 +1,395 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"masksearch"
+	"masksearch/internal/serve"
+	"masksearch/internal/workload"
+)
+
+// ServeRow is one machine-readable measurement of the serve
+// experiment: throughput and tail latency of the HTTP server at one
+// client concurrency level, or the admission-control burst. The rows
+// feed BENCH_serve.json.
+type ServeRow struct {
+	Exp         string  `json:"exp"`
+	Dataset     string  `json:"dataset"`
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency"`
+	Queries     int     `json:"queries"`
+	QPS         float64 `json:"qps"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	MasksLoaded int64   `json:"masks_loaded"`
+	Rejected    int64   `json:"rejected"`
+	Identical   bool    `json:"identical"`
+}
+
+// ServeReport carries the rendered table plus the JSON rows.
+type ServeReport struct {
+	*Report
+	Rows []ServeRow
+}
+
+// servePair is one (statement, bound arguments) request shape with its
+// directly computed reference result.
+type servePair struct {
+	sql  string
+	args []any
+	want []int64
+}
+
+// serveResult is the subset of the server's /query response the
+// experiment checks.
+type serveResult struct {
+	Kind   string  `json:"kind"`
+	IDs    []int64 `json:"ids"`
+	Ranked []struct {
+		ID    int64   `json:"id"`
+		Score float64 `json:"score"`
+	} `json:"ranked"`
+}
+
+// Serve benchmarks the msserve HTTP layer end to end on one dataset:
+//
+//	serve-cN — N concurrent clients sweeping parameterized filter
+//	       shapes through per-client sessions against an in-process
+//	       server. Every response must be byte-identical to the same
+//	       statement run directly through DB.Query (asserted), and
+//	       the DB plan cache must show hits from the repeated shapes
+//	       (asserted). QPS and p50/p99 latency are recorded per level.
+//	admission — a burst of clients against a server bounded at
+//	       MaxInflight 2 with no queue: some requests must be rejected
+//	       with 429, the rejections must be observable in /metrics,
+//	       and the in-flight watermark must prove the bound held
+//	       (all asserted).
+func Serve(ctx context.Context, d *DatasetEnv, n int, seed int64) (*ServeReport, error) {
+	rep := &ServeReport{Report: NewReport(fmt.Sprintf(
+		"Serve — HTTP serving throughput, latency and admission control on %s", d.Params.Name))}
+	rep.Printf("%-12s %8s %9s %10s %12s %12s %10s %9s\n",
+		"mode", "clients", "queries", "qps", "p50", "p99", "masks", "rejected")
+	row := func(r ServeRow) {
+		rep.Rows = append(rep.Rows, r)
+		rep.Printf("%-12s %8d %9d %10.1f %12s %12s %10d %9d\n",
+			r.Mode, r.Concurrency, r.Queries, r.QPS,
+			time.Duration(r.P50Ns).Round(time.Microsecond),
+			time.Duration(r.P99Ns).Round(time.Microsecond),
+			r.MasksLoaded, r.Rejected)
+	}
+
+	db, err := masksearch.OpenWith(d.Dir, masksearch.Options{
+		// Persisted eager index (shared with the other facade
+		// experiments' chi.gob) so only the first run pays the build;
+		// Workers 1 keeps per-query stats deterministic — serving
+		// concurrency comes from the clients, not the engine pool.
+		EagerIndex: true, PersistIndexOnClose: true, Workers: 1,
+		CacheBytes: masksearch.CacheUnbounded,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	// The request mix: n random filter shapes × 3 selectivity points,
+	// with reference results computed through the direct facade path.
+	rng := rand.New(rand.NewSource(seed))
+	ids := d.Cat.MaskIDs(nil)
+	w, h := d.Params.W, d.Params.H
+	var pairs []servePair
+	for i := 0; i < n; i++ {
+		q := workload.RandomFilter(rng, d.Cat, w, h, ids)
+		for _, frac := range []float64{0.05, 0.15, 0.4} {
+			area := float64(q.ROI.Area())
+			if q.UseObject {
+				area = float64(w * h / 8)
+			}
+			q.Thresh = int64(frac * area)
+			sql, args := q.SQL()
+			res, err := db.Query(ctx, sql, args...)
+			if err != nil {
+				return nil, fmt.Errorf("bench: serve reference: %w", err)
+			}
+			pairs = append(pairs, servePair{sql: sql, args: args, want: res.IDs})
+		}
+	}
+
+	srv := serve.New(db, serve.Config{
+		MaxInflight: 32, QueueDepth: 128, QueueWait: 30 * time.Second,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Phase 1 — throughput and latency at increasing client counts.
+	totalReqs := len(pairs)
+	for totalReqs < 60 {
+		totalReqs += len(pairs)
+	}
+	pcs0 := db.PlanCacheStats()
+	for _, clients := range []int{1, 4, 16} {
+		rs0 := db.ReadStats()
+		lats := make([][]time.Duration, clients)
+		errc := make(chan error, clients)
+		identical := make([]bool, clients)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wallStart := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				sess := fmt.Sprintf("bench-c%d-%d", clients, c)
+				ok := true
+				<-start
+				for i := c; i < totalReqs; i += clients {
+					p := pairs[i%len(pairs)]
+					t0 := time.Now()
+					res, status, err := servePost(client, ts.URL+"/query", map[string]any{
+						"sql": p.sql, "args": p.args, "session": sess,
+					})
+					lats[c] = append(lats[c], time.Since(t0))
+					if err != nil || status != http.StatusOK {
+						errc <- fmt.Errorf("client %d: status %d err %v", c, status, err)
+						return
+					}
+					if !equalIDs(res.IDs, p.want) {
+						ok = false
+					}
+				}
+				identical[c] = ok
+			}(c)
+		}
+		close(start)
+		wg.Wait()
+		wall := time.Since(wallStart)
+		close(errc)
+		for err := range errc {
+			return nil, fmt.Errorf("bench: serve: %w", err)
+		}
+		var all []time.Duration
+		allSame := true
+		for c := range lats {
+			all = append(all, lats[c]...)
+			allSame = allSame && identical[c]
+		}
+		p50, p99 := quantilesNs(all)
+		rs1 := db.ReadStats()
+		row(ServeRow{
+			Exp: "serve", Dataset: d.Params.Name,
+			Mode: fmt.Sprintf("serve-c%d", clients), Concurrency: clients,
+			Queries: totalReqs, QPS: float64(totalReqs) / wall.Seconds(),
+			NsPerOp: wall.Nanoseconds() / int64(totalReqs),
+			P50Ns:   p50, P99Ns: p99,
+			MasksLoaded: rs1.Sub(rs0).MasksLoaded,
+			Identical:   allSame,
+		})
+		if !allSame {
+			return nil, fmt.Errorf("bench: serve: served results at concurrency %d differ from direct DB.Query", clients)
+		}
+	}
+	pcs1 := db.PlanCacheStats()
+	if pcs1.Hits <= pcs0.Hits {
+		return nil, fmt.Errorf("bench: serve: plan cache hits did not grow under repeated shapes (%d -> %d)", pcs0.Hits, pcs1.Hits)
+	}
+	rep.Printf("plan cache over the serving run: +%d hits, +%d misses\n",
+		pcs1.Hits-pcs0.Hits, pcs1.Misses-pcs0.Misses)
+
+	// Phase 2 — admission control: a hard MaxInflight 2 bound, no
+	// queue, and a simultaneous burst of clients. The bound must be
+	// observable (429s and the Rejected counter) and provable (the
+	// in-flight watermark never passed the limit).
+	admRow, err := serveAdmissionBurst(ctx, d, db, pairs[0])
+	if err != nil {
+		return nil, err
+	}
+	row(*admRow)
+	return rep, nil
+}
+
+// serveAdmissionBurst proves the admission bound on a 2-slot,
+// no-queue server. Two blocker clients keep the execution slots
+// saturated by looping 512-statement batches (distinct arg sets, so
+// the batch executor's shared-load dedup cannot collapse the work)
+// while sixteen probe clients hammer /query over the same window.
+// The window is extended until rejections appear, then the clients'
+// 429 count must agree with the Rejected counter and the in-flight
+// watermark must show the bound was never exceeded.
+func serveAdmissionBurst(ctx context.Context, d *DatasetEnv, db *masksearch.DB, p servePair) (*ServeRow, error) {
+	const maxInflight = 2
+	srv := serve.New(db, serve.Config{MaxInflight: maxInflight, QueueDepth: 0})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	const batchLen = 512
+	argSets := make([][]any, batchLen)
+	for i := range argSets {
+		// Distinct thresholds per statement: each batch entry is real,
+		// non-dedupable verification work that keeps the slot held.
+		argSets[i] = []any{p.args[0], p.args[1], int64(i)}
+	}
+
+	var total, rejected, wrong atomic.Int64
+	var wallNs int64
+	for window := 250 * time.Millisecond; ; window *= 2 {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wallStart := time.Now()
+		for b := 0; b < maxInflight; b++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_, status, err := servePost(client, ts.URL+"/batch", map[string]any{
+						"sql": p.sql, "arg_sets": argSets,
+					})
+					total.Add(1)
+					switch {
+					case err != nil:
+						wrong.Add(1)
+					case status == http.StatusTooManyRequests:
+						// Lost the slot race to a probe; retry.
+						rejected.Add(1)
+					case status != http.StatusOK:
+						wrong.Add(1)
+					}
+				}
+			}()
+		}
+		const probes = 16
+		for c := 0; c < probes; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					res, status, err := servePost(client, ts.URL+"/query", map[string]any{
+						"sql": p.sql, "args": p.args,
+					})
+					total.Add(1)
+					switch {
+					case err != nil:
+						wrong.Add(1)
+					case status == http.StatusTooManyRequests:
+						rejected.Add(1)
+					case status == http.StatusOK:
+						if !equalIDs(res.IDs, p.want) {
+							wrong.Add(1)
+						}
+					default:
+						wrong.Add(1)
+					}
+				}
+			}()
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		wallNs += time.Since(wallStart).Nanoseconds()
+		if wrong.Load() > 0 {
+			return nil, fmt.Errorf("bench: serve admission: %d responses were errors or non-identical results", wrong.Load())
+		}
+		if rejected.Load() > 0 {
+			break
+		}
+		if window >= 8*time.Second {
+			return nil, fmt.Errorf("bench: serve admission: no 429s after %d requests against %d saturated slots", total.Load(), maxInflight)
+		}
+	}
+
+	// The server's own accounting must agree with the clients'.
+	ms, err := serveMetrics(client, ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	if got := int64(ms["msserve.Rejected"].Value); got != rejected.Load() {
+		return nil, fmt.Errorf("bench: serve admission: /metrics Rejected = %d, clients saw %d", got, rejected.Load())
+	}
+	if wm := int64(ms["msserve.InflightWatermark"].Value); wm > maxInflight {
+		return nil, fmt.Errorf("bench: serve admission: in-flight watermark %d exceeded the %d bound", wm, maxInflight)
+	}
+	return &ServeRow{
+		Exp: "serve", Dataset: d.Params.Name, Mode: "admission",
+		Concurrency: 16 + maxInflight, Queries: int(total.Load()),
+		QPS:      float64(total.Load()) / (float64(wallNs) / 1e9),
+		NsPerOp:  wallNs / max(1, total.Load()),
+		Rejected: rejected.Load(), Identical: true,
+	}, nil
+}
+
+// servePost sends one JSON request and decodes the query response.
+func servePost(client *http.Client, url string, body map[string]any) (*serveResult, int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode, nil
+	}
+	var out serveResult
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("decoding %q: %w", raw, err)
+	}
+	return &out, resp.StatusCode, nil
+}
+
+// serveMetrics scrapes /metrics into a name-indexed map.
+func serveMetrics(client *http.Client, base string) (map[string]serve.Metric, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var ms []serve.Metric
+	if err := json.NewDecoder(resp.Body).Decode(&ms); err != nil {
+		return nil, err
+	}
+	out := make(map[string]serve.Metric, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m
+	}
+	return out, nil
+}
+
+// quantilesNs returns the p50 and p99 of the observed latencies.
+func quantilesNs(lats []time.Duration) (p50, p99 int64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(p float64) int64 {
+		return lats[int(p*float64(len(lats)-1))].Nanoseconds()
+	}
+	return at(0.50), at(0.99)
+}

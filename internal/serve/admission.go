@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errRejected is returned by admission.acquire when the server is at
+// its concurrency bound and the request cannot (or will not) wait.
+// The HTTP layer maps it to 429 Too Many Requests.
+var errRejected = errors.New("serve: server over capacity, request rejected")
+
+// admission bounds how much query work executes at once. At most
+// maxInflight requests hold execution slots; when every slot is taken
+// a request either fails immediately (queueDepth == 0) or waits in a
+// bounded queue for up to queueWait. Everything beyond the queue is
+// rejected, so total admitted-or-waiting work is provably capped at
+// maxInflight + queueDepth.
+type admission struct {
+	slots chan struct{} // buffered to maxInflight; a held token = one executing request
+	queue chan struct{} // buffered to queueDepth; nil in reject-immediately mode
+	wait  time.Duration
+
+	inflight  atomic.Int64 // currently executing
+	watermark atomic.Int64 // high-water mark of inflight (never decreases)
+	queued    atomic.Int64 // currently waiting for a slot
+
+	admitted      atomic.Int64
+	rejected      atomic.Int64
+	queuedTotal   atomic.Int64
+	queueTimeouts atomic.Int64
+}
+
+func newAdmission(maxInflight, queueDepth int, queueWait time.Duration) *admission {
+	a := &admission{
+		slots: make(chan struct{}, maxInflight),
+		wait:  queueWait,
+	}
+	if queueDepth > 0 {
+		a.queue = make(chan struct{}, queueDepth)
+	}
+	return a
+}
+
+// acquire claims one execution slot, waiting in the bounded queue if
+// one is configured. The caller must pair a nil return with release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.admit()
+		return nil
+	default:
+	}
+	if a.queue == nil {
+		a.rejected.Add(1)
+		return errRejected
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default: // queue full too: reject rather than wait unbounded
+		a.rejected.Add(1)
+		return errRejected
+	}
+	a.queuedTotal.Add(1)
+	a.queued.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		<-a.queue
+	}()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admit()
+		return nil
+	case <-timer.C:
+		a.queueTimeouts.Add(1)
+		a.rejected.Add(1)
+		return errRejected
+	case <-ctx.Done():
+		a.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+// admit records a successful slot claim and advances the inflight
+// high-water mark.
+func (a *admission) admit() {
+	a.admitted.Add(1)
+	n := a.inflight.Add(1)
+	for {
+		w := a.watermark.Load()
+		if n <= w || a.watermark.CompareAndSwap(w, n) {
+			return
+		}
+	}
+}
+
+// release returns an execution slot claimed by acquire.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"masksearch"
+)
+
+// session is one client's prepared-statement scope. Statements a
+// session prepared stay pinned in its local map, so a client sweeping
+// the same shapes skips even the DB plan cache's lock — and the
+// session survives across HTTP connections, which is what lets
+// stateless clients (curl, load balancers) reuse plans by just
+// sending the same session name.
+type session struct {
+	id   string
+	hits *atomic.Int64 // the manager's stmt-hit counter (survives expiry)
+
+	mu       sync.Mutex
+	stmts    map[string]*masksearch.Stmt
+	lastUsed time.Time
+
+	queries atomic.Int64 // requests executed under this session
+}
+
+// prepare returns the session's cached statement for sql, preparing
+// and pinning it on first use. A DB plan-cache hit and a session hit
+// are both cheap; the session hit just also skips the cache lock and
+// keeps the statement alive regardless of cache eviction.
+func (s *session) prepare(db *masksearch.DB, sql string) (*masksearch.Stmt, error) {
+	s.mu.Lock()
+	if st, ok := s.stmts[sql]; ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return st, nil
+	}
+	s.mu.Unlock()
+	st, err := db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stmts[sql] = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+func (s *session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastUsed = now
+	s.mu.Unlock()
+}
+
+// sessionManager tracks named sessions with idle expiry. Sessions are
+// created implicitly on first use (any request naming an unknown
+// session starts one), expire after ttl idle, and the live set is
+// capped at maxLive — beyond it the least-recently-used session is
+// evicted. Expiry is swept lazily on lookup and on metrics scrapes,
+// so no janitor goroutine needs managing.
+type sessionManager struct {
+	ttl     time.Duration
+	maxLive int
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	created  atomic.Int64
+	expired  atomic.Int64
+	evicted  atomic.Int64
+	stmtHits atomic.Int64 // prepares served from session-local maps
+}
+
+func newSessionManager(ttl time.Duration, maxLive int) *sessionManager {
+	return &sessionManager{ttl: ttl, maxLive: maxLive, sessions: make(map[string]*session)}
+}
+
+// get returns the named session, creating it on first use; the empty
+// name means "no session" and returns nil.
+func (m *sessionManager) get(id string, now time.Time) *session {
+	if id == "" {
+		return nil
+	}
+	m.mu.Lock()
+	m.sweepLocked(now)
+	s, ok := m.sessions[id]
+	if !ok {
+		s = &session{id: id, hits: &m.stmtHits, stmts: make(map[string]*masksearch.Stmt), lastUsed: now}
+		m.sessions[id] = s
+		m.created.Add(1)
+		for len(m.sessions) > m.maxLive {
+			m.evictOldestLocked(id)
+		}
+	}
+	m.mu.Unlock()
+	s.touch(now)
+	return s
+}
+
+// sweep expires idle sessions; the metrics scrape calls it so the
+// session gauge stays honest even on an otherwise idle server.
+func (m *sessionManager) sweep(now time.Time) {
+	m.mu.Lock()
+	m.sweepLocked(now)
+	m.mu.Unlock()
+}
+
+func (m *sessionManager) sweepLocked(now time.Time) {
+	if m.ttl <= 0 {
+		return
+	}
+	for id, s := range m.sessions {
+		s.mu.Lock()
+		idle := now.Sub(s.lastUsed)
+		s.mu.Unlock()
+		if idle > m.ttl {
+			delete(m.sessions, id)
+			m.expired.Add(1)
+		}
+	}
+}
+
+// evictOldestLocked drops the least-recently-used session other than
+// keep (the one just created for the current request).
+func (m *sessionManager) evictOldestLocked(keep string) {
+	var oldestID string
+	var oldest time.Time
+	for id, s := range m.sessions {
+		if id == keep {
+			continue
+		}
+		s.mu.Lock()
+		lu := s.lastUsed
+		s.mu.Unlock()
+		if oldestID == "" || lu.Before(oldest) {
+			oldestID, oldest = id, lu
+		}
+	}
+	if oldestID == "" {
+		return
+	}
+	delete(m.sessions, oldestID)
+	m.evicted.Add(1)
+}
+
+// live reports the current session count.
+func (m *sessionManager) live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}

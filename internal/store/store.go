@@ -42,6 +42,22 @@ type ReadStats struct {
 	CacheEvicted int64
 }
 
+// Sub returns the counter deltas of s relative to an earlier snapshot
+// prev. Benchmarks and the serving metrics endpoint bracket work with
+// two snapshots and report the difference, which stays correct even
+// when code in between resets the resettable counters (use
+// LifetimeStats snapshots for that case).
+func (s ReadStats) Sub(prev ReadStats) ReadStats {
+	return ReadStats{
+		MasksLoaded:  s.MasksLoaded - prev.MasksLoaded,
+		RegionReads:  s.RegionReads - prev.RegionReads,
+		BytesRead:    s.BytesRead - prev.BytesRead,
+		CacheHits:    s.CacheHits - prev.CacheHits,
+		CacheMisses:  s.CacheMisses - prev.CacheMisses,
+		CacheEvicted: s.CacheEvicted - prev.CacheEvicted,
+	}
+}
+
 // Throttle simulates a disk limited to BytesPerSec of read bandwidth;
 // the zero value disables throttling.
 type Throttle struct {

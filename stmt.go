@@ -167,6 +167,10 @@ func (s *Stmt) Query(ctx context.Context, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.db.endOp()
 	return s.db.run(ctx, p, qo)
 }
 
@@ -202,6 +206,10 @@ func (s *Stmt) QueryBatch(ctx context.Context, argSets [][]any, opts ...QueryOpt
 	if err != nil {
 		return nil, err
 	}
+	if err := s.db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.db.endOp()
 	return s.db.execBatch(ctx, env, plans, qo)
 }
 
@@ -253,6 +261,14 @@ func (s *Stmt) Rows(ctx context.Context, args ...any) iter.Seq2[Row, error] {
 			yield(Row{}, err)
 			return
 		}
+		// The close guard is held for the whole iteration: a stream's
+		// loads happen while the consumer ranges, so Close must drain
+		// the iterator like any other in-flight query.
+		if err := s.db.beginOp(); err != nil {
+			yield(Row{}, err)
+			return
+		}
+		defer s.db.endOp()
 		s.db.stream(ctx, p, qo, yield)
 	}
 }
