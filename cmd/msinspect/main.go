@@ -8,9 +8,18 @@
 //	msinspect -db data/wilds-sim                      # dataset summary
 //	msinspect -db data/wilds-sim -mask 17             # one mask, rendered
 //	msinspect -db data/wilds-sim -mask 17 -lo 0.6     # plus CHI bounds
+//	msinspect -db data/wilds-sim -rows -offset 100 -limit 20 -header
+//
+// -rows dumps the catalog as TSV, one mask per line, in id order —
+// including masks still WAL-resident after online ingestion, whose
+// location column names the segment file holding them. -offset skips
+// that many rows (an offset past the end prints nothing and exits 0; a
+// negative offset is a usage error, exit 2) and a negative -limit means
+// all remaining rows.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -30,10 +39,18 @@ func main() {
 		lo     = flag.Float64("lo", 0.6, "value-range lower bound for CHI bound check")
 		hi     = flag.Float64("hi", 1.0, "value-range upper bound for CHI bound check")
 		width  = flag.Int("render-width", 48, "ASCII rendering width in characters")
+		rows   = flag.Bool("rows", false, "dump catalog rows as TSV instead of the summary")
+		offset = flag.Int("offset", 0, "-rows: skip this many rows (negative = usage error)")
+		limit  = flag.Int("limit", -1, "-rows: print at most this many rows (negative = all)")
+		header = flag.Bool("header", false, "-rows: print a column-name header line first")
 	)
 	flag.Parse()
 	if *dbDir == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *rows && *offset < 0 {
+		log.Printf("-offset must be >= 0, got %d", *offset)
 		os.Exit(2)
 	}
 	db, err := masksearch.OpenWith(*dbDir, masksearch.Options{PersistIndexOnClose: false})
@@ -41,6 +58,11 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	if *rows {
+		// No stats footer here: -rows output is machine-readable TSV.
+		dumpRows(db, *offset, *limit, *header)
+		return
+	}
 	// Runs before db.Close: account every byte this inspection cost,
 	// including what the store's mask cache absorbed; on a sharded
 	// database, also how the traffic split across shards. One unified
@@ -65,6 +87,32 @@ func main() {
 		return
 	}
 	inspectMask(db, *maskID, *lo, *hi, *width)
+}
+
+// dumpRows prints catalog rows as TSV in id order: the metadata the
+// catalog holds plus where each mask's pixels currently live ("base"
+// for the compacted layout, "wal:<segment>" for masks appended online
+// and not yet compacted). Output goes through one buffered writer so a
+// full-catalog dump isn't one syscall per row.
+func dumpRows(db *masksearch.DB, offset, limit int, header bool) {
+	entries := db.Entries()
+	if offset > len(entries) {
+		offset = len(entries)
+	}
+	entries = entries[offset:]
+	if limit >= 0 && limit < len(entries) {
+		entries = entries[:limit]
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if header {
+		fmt.Fprintln(w, "index\tmask_id\timage_id\tmodel_id\tmask_type\tlabel\tpred\tmodified\tobject\tlocation")
+	}
+	for i, e := range entries {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%t\t%d,%d,%d,%d\t%s\n",
+			offset+i, e.MaskID, e.ImageID, e.ModelID, e.MaskType, e.Label, e.Pred, e.Modified,
+			e.Object.X0, e.Object.Y0, e.Object.X1, e.Object.Y1, db.MaskLocation(e.MaskID))
+	}
 }
 
 // summarize prints dataset-level statistics.

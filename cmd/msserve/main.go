@@ -13,12 +13,19 @@
 //	POST /query    one statement; {"stream": true} for NDJSON rows
 //	POST /batch    {"sqls": [...]} or {"sql": ..., "arg_sets": [[...], ...]}
 //	POST /explain  compiled plan without executing
+//	POST /ingest   append masks online; acknowledged only after fsync
+//	POST /compact  fold the WAL into the base layout now
 //	GET  /healthz  liveness
 //	GET  /metrics  counters-with-rates JSON
 //
+// With -compact-every the server folds the WAL into the base layout on
+// a timer, keeping recovery cheap on a long-running ingest workload.
+//
 // SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight
-// requests drain (bounded by -drain-timeout), and the database closes
-// (persisting the incrementally grown index unless -no-persist).
+// requests drain (bounded by -drain-timeout), and the database closes —
+// the DB's close guard waits for in-flight appends, so every
+// acknowledged ingest is on disk before the process exits (persisting
+// the incrementally grown index unless -no-persist).
 package main
 
 import (
@@ -55,6 +62,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "server-side per-request execution budget (0 = none)")
 		sessionTTL = flag.Duration("session-ttl", 15*time.Minute, "idle session expiry")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		compactEv  = flag.Duration("compact-every", 0, "fold the WAL into the base layout on this interval (0 = only on POST /compact)")
 	)
 	flag.Parse()
 	if *dbDir == "" {
@@ -81,6 +89,27 @@ func main() {
 		SessionTTL:     *sessionTTL,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	// Background compaction: fold the WAL on a timer. The loop needs no
+	// shutdown plumbing — once the DB closes, Compact returns ErrClosed
+	// and the goroutine exits.
+	if *compactEv > 0 {
+		go func() {
+			t := time.NewTicker(*compactEv)
+			defer t.Stop()
+			for range t.C {
+				n, err := db.Compact(context.Background())
+				switch {
+				case errors.Is(err, masksearch.ErrClosed):
+					return
+				case err != nil:
+					log.Printf("compact: %v", err)
+				case n > 0:
+					log.Printf("compacted %d masks", n)
+				}
+			}
+		}()
+	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests,
 	// then close the DB — whose own close guard drains anything the

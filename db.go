@@ -113,9 +113,14 @@ type DB struct {
 	dir   string
 	opts  Options
 	st    store.MaskStore
+	ws    *store.WALStore // the ingestion wrapper; st == ws
 	cat   *store.Catalog
 	idx   *core.MemoryIndex
 	plans *planCache
+	// loader is what query environments load through: the WAL store
+	// itself, or a wrapper that re-exposes the base's shard topology so
+	// the engine keeps its per-shard work affinity.
+	loader core.MaskLoader
 
 	dirty atomic.Bool // index changed since open
 
@@ -153,11 +158,21 @@ func Open(dir string) (*DB, error) {
 // OpenWith opens a mask database directory created by GenerateDataset
 // or GenerateShardedDataset (the layout is detected from the
 // manifest). Options are validated before anything is opened.
+//
+// The database opens write-capable: a WAL directory is created (or
+// recovered — torn tails truncated, the durable prefix replayed) and
+// DB.Append ingests new masks online.
 func OpenWith(dir string, opts Options) (*DB, error) {
+	return openWith(dir, opts, store.DirFS())
+}
+
+// openWith is OpenWith with an injectable filesystem for the
+// ingestion path; fault-injection tests pass a store.FaultFS.
+func openWith(dir string, opts Options, fsys store.FS) (*DB, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	st, cat, err := store.OpenAny(dir)
+	st, cat, err := store.OpenIngest(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +193,11 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 	if planEntries == 0 {
 		planEntries = DefaultPlanCacheEntries
 	}
-	db := &DB{dir: dir, opts: opts, st: st, cat: cat, plans: newPlanCache(planEntries)}
+	db := &DB{dir: dir, opts: opts, st: st, ws: st, cat: cat, plans: newPlanCache(planEntries)}
+	db.loader = core.MaskLoader(st)
+	if ss, ok := st.Base().(*store.ShardedStore); ok {
+		db.loader = shardedWALLoader{WALStore: st, ss: ss}
+	}
 	db.idx = db.loadPersistedIndex(cfg)
 	if opts.EagerIndex {
 		// Eager ("vanilla MaskSearch") construction fans mask loads
@@ -191,9 +210,34 @@ func OpenWith(dir string, opts Options) (*DB, error) {
 		if built > 0 {
 			db.dirty.Store(true)
 		}
+	} else if ids := st.ReplayedIDs(); len(ids) > 0 {
+		// Masks replayed from the WAL are observed into the index like
+		// freshly appended ones, so recovery leaves the index in the
+		// same state a crash-free run would have.
+		built, err := core.IndexAll(context.Background(), st, db.idx, ids, opts.exec())
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if built > 0 {
+			db.dirty.Store(true)
+		}
 	}
 	return db, nil
 }
+
+// shardedWALLoader is the query-engine loader for a WAL store over a
+// sharded base: loads go through the WAL store (tail ids served from
+// RAM), while the shard topology stays visible so the engine keeps
+// grouping work per shard. Tail ids map to the last shard, which is
+// where compaction will land them.
+type shardedWALLoader struct {
+	*store.WALStore
+	ss *store.ShardedStore
+}
+
+func (l shardedWALLoader) NumShards() int       { return l.ss.NumShards() }
+func (l shardedWALLoader) ShardOf(id int64) int { return l.ss.ShardOf(id) }
 
 // loadPersistedIndex restores <db>/chi.gob when present and built with
 // the wanted granularity; otherwise it starts an empty index.
@@ -251,14 +295,20 @@ func (db *DB) persistIndex() error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(db.dir, store.IndexFileName))
+	if err := os.Rename(tmp.Name(), filepath.Join(db.dir, store.IndexFileName)); err != nil {
+		return err
+	}
+	// The rename is only crash-durable once the directory entry is
+	// fsynced too; without this a crash shortly after Close can roll
+	// the directory back to the old (or no) chi.gob.
+	return store.SyncDir(db.dir)
 }
 
 // env wires the query engine to this DB's store and index, growing
 // the index from every verified mask.
 func (db *DB) env(ex core.Exec) *core.Env {
 	return &core.Env{
-		Loader: db.st,
+		Loader: db.loader,
 		Index:  db.idx,
 		Exec:   ex,
 		OnVerify: func(id int64, m *Mask) {
@@ -322,15 +372,21 @@ func (db *DB) LoadMask(id int64) (*Mask, error) {
 	return db.st.LoadMask(id)
 }
 
+// MaskDims reports the fixed pixel dimensions every mask in this
+// database has — the length DB.Append expects for AppendMask.Pixels
+// is w*h.
+func (db *DB) MaskDims() (w, h int) { return db.st.MaskW(), db.st.MaskH() }
+
 // ReadStats reports the store's read counters — disk traffic plus the
 // mask cache's hit/miss/evicted counts — accumulated since open. For
 // a sharded database these are the per-shard counters aggregated.
 func (db *DB) ReadStats() ReadStats { return db.st.Stats() }
 
 // Shards reports how many storage shards back this database (1 for a
-// single-segment layout).
+// single-segment layout). On a sharded database with WAL compaction,
+// the count grows as each compaction adds a shard.
 func (db *DB) Shards() int {
-	if ss, ok := db.st.(*store.ShardedStore); ok {
+	if ss, ok := db.ws.Base().(*store.ShardedStore); ok {
 		return ss.NumShards()
 	}
 	return 1
@@ -340,7 +396,7 @@ func (db *DB) Shards() int {
 // single-segment database it returns one entry equal to ReadStats, so
 // callers can render the per-shard split unconditionally.
 func (db *DB) ShardReadStats() []ReadStats {
-	if ss, ok := db.st.(*store.ShardedStore); ok {
+	if ss, ok := db.ws.Base().(*store.ShardedStore); ok {
 		return ss.ShardStats()
 	}
 	return []ReadStats{db.st.Stats()}
@@ -362,6 +418,9 @@ type DBStats struct {
 	PlanCache PlanCacheStats
 	// Index is the CHI index footprint.
 	Index IndexStats
+	// Ingest is the online ingestion path's counters: appended and
+	// replayed masks, WAL footprint, compactions.
+	Ingest IngestStats
 }
 
 // Stats returns one coherent observability snapshot of the DB. The
@@ -373,10 +432,85 @@ func (db *DB) Stats() DBStats {
 		ShardReads: db.ShardReadStats(),
 		Shards:     db.Shards(),
 		PlanCache:  db.plans.stats(),
+		Ingest:     db.ws.IngestStats(),
 	}
 	s.Index, _ = db.IndexStats()
 	return s
 }
+
+// AppendMask is one mask submitted to DB.Append: its metadata plus raw
+// uint8 pixels (length MaskW*MaskH; 255 = value 1.0).
+type AppendMask struct {
+	ImageID  int64
+	ModelID  int
+	MaskType int
+	Label    int
+	Pred     int
+	Modified bool
+	Object   Rect
+	Pixels   []byte
+}
+
+// Append durably ingests new masks and returns their assigned mask
+// ids (contiguous, extending the id space). The batch is written to
+// the write-ahead log as one transaction and fsynced before Append
+// returns: an acknowledged append survives any crash, a crash
+// mid-batch rolls the whole batch back on the next Open. Appended
+// masks are immediately queryable — and immediately indexed — while
+// queries already executing keep their snapshot of the id space.
+// Append may run concurrently with queries; concurrent Appends
+// serialize against each other.
+func (db *DB) Append(ctx context.Context, masks []AppendMask) ([]int64, error) {
+	if err := db.beginOp(); err != nil {
+		return nil, err
+	}
+	defer db.endOp()
+	in := make([]store.IngestMask, len(masks))
+	for i, m := range masks {
+		in[i] = store.IngestMask{
+			Entry: store.Entry{
+				ImageID: m.ImageID, ModelID: m.ModelID, MaskType: m.MaskType,
+				Label: m.Label, Pred: m.Pred, Modified: m.Modified, Object: m.Object,
+			},
+			Pix: m.Pixels,
+		}
+	}
+	ids, err := db.st.Append(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	// Observe the new masks into the CHI index right away (the pixels
+	// are already in hand, so this is pure CPU) — appended masks get
+	// filter bounds without waiting to be verified by a query.
+	for i, id := range ids {
+		if chi, _ := db.idx.ChiFor(id); chi == nil {
+			m := core.NewByteMask(db.st.MaskW(), db.st.MaskH())
+			copy(m.Bytes, masks[i].Pixels)
+			db.idx.Observe(id, m)
+			db.st.ReleaseMask(m)
+			db.dirty.Store(true)
+		}
+	}
+	return ids, nil
+}
+
+// Compact folds the durable WAL tail into the base storage layout
+// (appending to masks.bin on a single-segment database, adding a new
+// shard on a sharded one) and deletes the retired WAL segments. It
+// returns the number of masks moved. Queries run undisturbed;
+// concurrent Appends wait for the compaction to finish.
+func (db *DB) Compact(ctx context.Context) (int, error) {
+	if err := db.beginOp(); err != nil {
+		return 0, err
+	}
+	defer db.endOp()
+	return db.ws.Compact(ctx)
+}
+
+// MaskLocation reports where a mask currently lives: "base" for the
+// compacted layout, "wal:<segment file>" for WAL-resident masks, ""
+// for unknown ids.
+func (db *DB) MaskLocation(id int64) string { return db.ws.MaskLocation(id) }
 
 // IndexStats reports the current index footprint.
 func (db *DB) IndexStats() (IndexStats, error) {
@@ -536,7 +670,10 @@ func (db *DB) run(ctx context.Context, p *plan, qo queryOptions) (*Result, error
 		return nil, err
 	}
 	res := &Result{Kind: p.kind}
-	targets := db.cat.MaskIDs(p.keep)
+	// One catalog snapshot per query: the id space this query considers
+	// is pinned here and never shifts while concurrent Appends land.
+	view := db.cat.View()
+	targets := view.MaskIDs(p.keep)
 	nConsidered := len(targets)
 
 	// LIMIT 0 is a valid, empty query — don't touch any mask. The
@@ -594,7 +731,7 @@ func (db *DB) run(ctx context.Context, p *plan, qo queryOptions) (*Result, error
 		res.Stats.Merge(st)
 		res.Ranked = ranked
 	case planAgg:
-		groups := db.groupTargets(p, targets)
+		groups := groupTargets(view, p, targets)
 		ranked, st, err := core.AggTopK(ctx, env, groups, p.scoreTerms, 0, p.agg, p.k, p.order)
 		if err != nil {
 			return nil, err
@@ -625,7 +762,8 @@ func (db *DB) stream(ctx context.Context, p *plan, qo queryOptions, yield func(R
 	if p.k == 0 {
 		return
 	}
-	targets := db.cat.MaskIDs(p.keep)
+	// Same snapshot isolation as run: the streamed id space is pinned.
+	targets := db.cat.View().MaskIDs(p.keep)
 	if qo.eagerBounds {
 		if err := db.ensureBounds(ctx, env, targets); err != nil {
 			yield(Row{}, err)
@@ -688,11 +826,11 @@ func (db *DB) filterLimited(ctx context.Context, env *core.Env, p *plan, targets
 }
 
 // groupTargets groups the (possibly pre-filtered) target ids by the
-// plan's group key.
-func (db *DB) groupTargets(p *plan, targets []int64) []core.Group {
+// plan's group key, against the query's pinned catalog snapshot.
+func groupTargets(v store.CatalogView, p *plan, targets []int64) []core.Group {
 	inTargets := make(map[int64]bool, len(targets))
 	for _, id := range targets {
 		inTargets[id] = true
 	}
-	return db.cat.GroupBy(p.groupKey, func(e store.Entry) bool { return inTargets[e.MaskID] })
+	return v.GroupBy(p.groupKey, func(e store.Entry) bool { return inTargets[e.MaskID] })
 }

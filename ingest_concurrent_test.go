@@ -1,0 +1,159 @@
+package masksearch
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestIngestWhileQuerying runs appenders against Query, Rows and
+// QueryBatch readers (run with -race). The snapshot-isolation contract
+// under test: a query resolves its targets against one catalog view,
+// so a filter with no predicate must return exactly the ids 1..k for
+// some k that was the catalog size at some instant — never a hole from
+// a batch that landed mid-scan, and never an id whose pixels are not
+// yet loadable.
+func TestIngestWhileQuerying(t *testing.T) {
+	dir := t.TempDir()
+	spec := TinyDataset()
+	spec.Images = 8
+	spec.W, spec.H = 16, 16
+	if err := GenerateDataset(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenWith(dir, Options{PersistIndexOnClose: false, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	const (
+		appenders        = 2
+		batchesPerWorker = 15
+		batchSize        = 3
+	)
+
+	// checkPrefix asserts ids are exactly 1..len(ids).
+	checkPrefix := func(ids []int64, label string) {
+		for i, id := range ids {
+			if id != int64(i+1) {
+				t.Errorf("%s: result ids are not the contiguous prefix: position %d holds %d", label, i, id)
+				return
+			}
+		}
+	}
+
+	var appWg, readWg sync.WaitGroup
+	stop := make(chan struct{})
+	for a := 0; a < appenders; a++ {
+		appWg.Add(1)
+		go func(a int) {
+			defer appWg.Done()
+			for b := 0; b < batchesPerWorker; b++ {
+				masks := appendBatch(t, db, batchSize, byte(a*batchesPerWorker+b+1))
+				if _, err := db.Append(ctx, masks); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if a == 0 && b%5 == 4 {
+					if _, err := db.Compact(ctx); err != nil {
+						t.Errorf("compact: %v", err)
+						return
+					}
+				}
+			}
+		}(a)
+	}
+
+	// Reader 1: materialized Query with a metadata-only filter — every
+	// result must be a contiguous id prefix.
+	readWg.Add(1)
+	go func() {
+		defer readWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := db.Query(ctx, `SELECT mask_id FROM masks`)
+			if err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+			checkPrefix(res.IDs, "Query")
+		}
+	}()
+
+	// Reader 2: streaming Rows with a CP predicate — every decided row
+	// must load successfully even if compaction migrates it mid-scan.
+	readWg.Add(1)
+	go func() {
+		defer readWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, err := range db.Rows(ctx, `SELECT mask_id FROM masks WHERE CP(mask, full, 0.0, 1.0) > 0`) {
+				if err != nil {
+					t.Errorf("rows: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Reader 3: QueryBatch resolves every statement against one shared
+	// snapshot; both statements must agree on the id space.
+	readWg.Add(1)
+	go func() {
+		defer readWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			results, err := db.QueryBatch(ctx, []string{
+				`SELECT mask_id FROM masks`,
+				`SELECT mask_id FROM masks`,
+			})
+			if err != nil {
+				t.Errorf("batch: %v", err)
+				return
+			}
+			checkPrefix(results[0].IDs, "QueryBatch[0]")
+			if len(results[0].IDs) != len(results[1].IDs) {
+				t.Errorf("QueryBatch statements saw different snapshots: %d vs %d ids",
+					len(results[0].IDs), len(results[1].IDs))
+			}
+		}
+	}()
+
+	appWg.Wait()
+	close(stop)
+	readWg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Drain the WAL and verify the final state is complete.
+	if _, err := db.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := spec.NumMasks() + appenders*batchesPerWorker*batchSize
+	res, err := db.Query(ctx, `SELECT mask_id FROM masks`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != want {
+		t.Fatalf("final id count %d, want %d", len(res.IDs), want)
+	}
+	checkPrefix(res.IDs, "final")
+	if st := db.Stats().Ingest; st.TailMasks != 0 {
+		t.Fatalf("tail not drained: %+v", st)
+	}
+}

@@ -77,6 +77,9 @@ type counters struct {
 	serverErrs atomic.Int64 // 5xx responses
 	timeouts   atomic.Int64 // requests ended by their deadline
 	cancels    atomic.Int64 // requests ended by client disconnect
+	ingests    atomic.Int64 // /ingest requests acknowledged
+	masksIn    atomic.Int64 // masks acknowledged across /ingest requests
+	compacts   atomic.Int64 // /compact requests completed
 	latency    latencyTracker
 }
 

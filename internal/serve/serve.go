@@ -14,6 +14,8 @@
 //	POST /query    {"sql", "args", "session", "stream", "timeout_ms"}
 //	POST /batch    {"sqls": [...]} or {"sql", "arg_sets": [[...], ...]}
 //	POST /explain  {"sql", "args"}
+//	POST /ingest   {"masks": [{..., "pixels": base64}, ...]} — ack after fsync
+//	POST /compact  fold the WAL into the base layout
 //	GET  /healthz
 //	GET  /metrics
 package serve
@@ -116,6 +118,8 @@ func New(db *masksearch.DB, cfg Config) *Server {
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -228,7 +232,13 @@ func toResponse(res *masksearch.Result, session string) queryResponse {
 
 // decode reads one JSON request body (bounded at 1 MiB).
 func decode(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeBounded(w, r, v, 1<<20)
+}
+
+// decodeBounded is decode with an explicit body cap (ingest bodies
+// carry pixel payloads and need more headroom than query bodies).
+func decodeBounded(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }
@@ -509,10 +519,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	mw, mh := s.db.MaskDims()
+	ing := s.db.Stats().Ingest
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"uptime_s": time.Since(s.started).Seconds(),
-		"inflight": s.adm.inflight.Load(),
+		"status":       "ok",
+		"uptime_s":     time.Since(s.started).Seconds(),
+		"inflight":     s.adm.inflight.Load(),
+		"masks":        len(s.db.Entries()),
+		"mask_w":       mw,
+		"mask_h":       mh,
+		"wal_segments": ing.WALSegments,
+		"tail_masks":   ing.TailMasks,
 	})
 }
 
@@ -559,6 +576,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 		"msserve.plancache.Hits":   float64(ds.PlanCache.Hits),
 		"msserve.plancache.Misses": float64(ds.PlanCache.Misses),
+
+		"msserve.ingest.Requests":        float64(s.c.ingests.Load()),
+		"msserve.ingest.Compacts":        float64(s.c.compacts.Load()),
+		"msserve.ingest.MasksIn":         float64(s.c.masksIn.Load()),
+		"msserve.ingest.AppendedMasks":   float64(ds.Ingest.AppendedMasks),
+		"msserve.ingest.AppendedBatches": float64(ds.Ingest.AppendedBatches),
+		"msserve.ingest.AppendedBytes":   float64(ds.Ingest.AppendedBytes),
+		"msserve.ingest.ReplayedMasks":   float64(ds.Ingest.ReplayedMasks),
+		"msserve.ingest.TornTruncations": float64(ds.Ingest.TornTruncations),
+		"msserve.ingest.Compactions":     float64(ds.Ingest.Compactions),
+		"msserve.ingest.CompactedMasks":  float64(ds.Ingest.CompactedMasks),
 	}
 	if ds.Shards > 1 {
 		for i, srs := range ds.ShardReads {
@@ -580,6 +608,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"msserve.plancache.Entries":  float64(ds.PlanCache.Entries),
 		"msserve.index.IndexedMasks": float64(ds.Index.IndexedMasks),
 		"msserve.index.IndexBytes":   float64(ds.Index.IndexBytes),
+		"msserve.ingest.TailMasks":   float64(ds.Ingest.TailMasks),
+		"msserve.ingest.WALSegments": float64(ds.Ingest.WALSegments),
+		"msserve.ingest.WALBytes":    float64(ds.Ingest.WALBytes),
 	}
 
 	out := make([]Metric, 0, len(cur)+len(gauges))

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"masksearch/internal/core"
 )
@@ -28,8 +29,12 @@ type Entry struct {
 // Mispredicted reports whether the producing model got the image wrong.
 func (e Entry) Mispredicted() bool { return e.Pred != e.Label }
 
-// Catalog is the in-memory metadata table of a mask database.
+// Catalog is the in-memory metadata table of a mask database. It is
+// append-only: ingestion grows it while queries run, so every method
+// is safe for concurrent use, and View captures an immutable snapshot
+// of the current prefix for snapshot-isolated query execution.
 type Catalog struct {
+	mu      sync.RWMutex
 	entries []Entry
 	byID    map[int64]int
 }
@@ -43,14 +48,32 @@ func NewCatalog(entries []Entry) *Catalog {
 	return c
 }
 
-// Len returns the number of masks.
-func (c *Catalog) Len() int { return len(c.entries) }
+// Append adds rows for newly ingested masks. Snapshots taken before
+// the call never see them; snapshots taken after always do.
+func (c *Catalog) Append(entries []Entry) {
+	c.mu.Lock()
+	for _, e := range entries {
+		c.byID[e.MaskID] = len(c.entries)
+		c.entries = append(c.entries, e)
+	}
+	c.mu.Unlock()
+}
 
-// Entries returns the backing entry slice; callers must not mutate it.
-func (c *Catalog) Entries() []Entry { return c.entries }
+// Len returns the current number of masks.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Entries returns a snapshot of the current rows; callers must not
+// mutate it.
+func (c *Catalog) Entries() []Entry { return c.View().Entries() }
 
 // Entry returns the catalog row of one mask.
 func (c *Catalog) Entry(id int64) (Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	i, ok := c.byID[id]
 	if !ok {
 		return Entry{}, fmt.Errorf("store: no mask %d in catalog", id)
@@ -58,11 +81,74 @@ func (c *Catalog) Entry(id int64) (Entry, error) {
 	return c.entries[i], nil
 }
 
-// MaskIDs returns the ids of entries that keep accepts (all entries
-// when keep is nil), in catalog order.
+// MaskIDs returns the ids of current entries that keep accepts, in
+// catalog order (see View for the snapshot-isolated form).
 func (c *Catalog) MaskIDs(keep func(Entry) bool) []int64 {
-	out := make([]int64, 0, len(c.entries))
-	for _, e := range c.entries {
+	return c.View().MaskIDs(keep)
+}
+
+// GroupBy groups kept entries by an arbitrary integer key, returning
+// groups sorted by key.
+func (c *Catalog) GroupBy(key func(Entry) int64, keep func(Entry) bool) []core.Group {
+	return c.View().GroupBy(key, keep)
+}
+
+// GroupByImage groups kept entries by image id.
+func (c *Catalog) GroupByImage(keep func(Entry) bool) []core.Group {
+	return c.GroupBy(func(e Entry) int64 { return e.ImageID }, keep)
+}
+
+// ObjectROI returns a RegionFn resolving each mask's object bounding
+// box; unknown ids resolve to an empty rect. The closure reads the
+// live catalog under its lock, so it stays valid while ingestion
+// appends rows.
+func (c *Catalog) ObjectROI() core.RegionFn {
+	return func(id int64) core.Rect {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		if i, ok := c.byID[id]; ok {
+			return c.entries[i].Object
+		}
+		return core.Rect{}
+	}
+}
+
+// View captures an immutable snapshot of the catalog: the rows present
+// at the call, in order. Queries resolve their target id-space against
+// one view, so the ids a query considers never shift while concurrent
+// Appends land (snapshot isolation). The snapshot is a slice header
+// over the append-only backing array, so taking one is O(1).
+func (c *Catalog) View() CatalogView {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CatalogView{entries: c.entries[:len(c.entries):len(c.entries)]}
+}
+
+// CatalogView is one immutable catalog snapshot (see Catalog.View).
+// Its methods need no locks and always answer from the pinned prefix.
+type CatalogView struct {
+	entries []Entry
+}
+
+// Len returns the number of masks in the snapshot.
+func (v CatalogView) Len() int { return len(v.entries) }
+
+// MaxID returns the highest mask id in the snapshot (0 when empty).
+func (v CatalogView) MaxID() int64 {
+	if len(v.entries) == 0 {
+		return 0
+	}
+	return v.entries[len(v.entries)-1].MaskID
+}
+
+// Entries returns the snapshot's rows; callers must not mutate them.
+func (v CatalogView) Entries() []Entry { return v.entries }
+
+// MaskIDs returns the ids of snapshot entries that keep accepts (all
+// when keep is nil), in catalog order.
+func (v CatalogView) MaskIDs(keep func(Entry) bool) []int64 {
+	out := make([]int64, 0, len(v.entries))
+	for _, e := range v.entries {
 		if keep == nil || keep(e) {
 			out = append(out, e.MaskID)
 		}
@@ -70,11 +156,11 @@ func (c *Catalog) MaskIDs(keep func(Entry) bool) []int64 {
 	return out
 }
 
-// GroupBy groups kept entries by an arbitrary integer key, returning
-// groups sorted by key.
-func (c *Catalog) GroupBy(key func(Entry) int64, keep func(Entry) bool) []core.Group {
+// GroupBy groups kept snapshot entries by an arbitrary integer key,
+// returning groups sorted by key.
+func (v CatalogView) GroupBy(key func(Entry) int64, keep func(Entry) bool) []core.Group {
 	m := map[int64][]int64{}
-	for _, e := range c.entries {
+	for _, e := range v.entries {
 		if keep == nil || keep(e) {
 			k := key(e)
 			m[k] = append(m[k], e.MaskID)
@@ -86,20 +172,4 @@ func (c *Catalog) GroupBy(key func(Entry) int64, keep func(Entry) bool) []core.G
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
-}
-
-// GroupByImage groups kept entries by image id.
-func (c *Catalog) GroupByImage(keep func(Entry) bool) []core.Group {
-	return c.GroupBy(func(e Entry) int64 { return e.ImageID }, keep)
-}
-
-// ObjectROI returns a RegionFn resolving each mask's object bounding
-// box; unknown ids resolve to an empty rect.
-func (c *Catalog) ObjectROI() core.RegionFn {
-	return func(id int64) core.Rect {
-		if i, ok := c.byID[id]; ok {
-			return c.entries[i].Object
-		}
-		return core.Rect{}
-	}
 }

@@ -131,6 +131,11 @@ func GenerateSharded(dir string, spec Spec, shards int) error {
 	if err := os.Remove(filepath.Join(dir, IndexFileName)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
+	// Likewise a leftover WAL: its segments continue the previous
+	// dataset's id space and would replay foreign masks on open.
+	if err := os.RemoveAll(filepath.Join(dir, walDirName)); err != nil {
+		return err
+	}
 	// Remove leftovers of the other layout so a regenerated directory
 	// never carries both a top-level masks.bin and shard segments.
 	if stale, err := filepath.Glob(filepath.Join(dir, "shard-*")); err == nil {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -18,16 +19,24 @@ import (
 // aggregate Stats/LifetimeStats are the sums of the per-shard
 // counters (ShardStats exposes the split).
 //
-// All methods are safe for concurrent use, like Store's.
+// All methods are safe for concurrent use, like Store's. The shard
+// list itself can grow at runtime: WAL compaction on a sharded layout
+// publishes each compacted batch as a fresh shard through addShard, so
+// the list is guarded by mu (loads take the read lock, addShard the
+// write lock).
 type ShardedStore struct {
-	dir      string
+	dir string
+
+	mu       sync.RWMutex
 	shards   []*Store
-	firstIDs []int64 // ascending; shard i serves [firstIDs[i], firstIDs[i]+shards[i].numMasks)
-	w, h     int
+	firstIDs []int64 // ascending; shard i serves [firstIDs[i], firstIDs[i]+shards[i].NumMasks())
 	numMasks int
+	w, h     int
 	// cacheBytes remembers the configured total budget (the per-shard
 	// arenas each get an even slice of it).
 	cacheBytes int64
+	thr        Throttle
+
 	// pool is the mask-buffer pool shared by every shard: buffers are
 	// interchangeable across same-dimension segments, so a release on
 	// one shard can serve the next load on another.
@@ -54,16 +63,16 @@ func OpenSharded(dir string) (*ShardedStore, *Catalog, error) {
 			ss.Close()
 			return nil, nil, fmt.Errorf("store: open %s: shard %s: %w", dir, info.Dir, err)
 		}
-		if seg.base+1 != info.FirstID || seg.numMasks != info.NumMasks || info.FirstID != wantFirst {
+		if seg.base+1 != info.FirstID || seg.NumMasks() != info.NumMasks || info.FirstID != wantFirst {
 			seg.Close()
 			ss.Close()
 			return nil, nil, fmt.Errorf("store: open %s: shard %s covers ids [%d, %d] but the manifest maps [%d, %d) starting at %d — regenerate the dataset",
-				dir, info.Dir, seg.base+1, seg.base+int64(seg.numMasks), info.FirstID, info.FirstID+int64(info.NumMasks), wantFirst)
+				dir, info.Dir, seg.base+1, seg.base+int64(seg.NumMasks()), info.FirstID, info.FirstID+int64(info.NumMasks), wantFirst)
 		}
 		seg.maskPool = ss.pool // one shared buffer pool across shards
 		ss.shards = append(ss.shards, seg)
 		ss.firstIDs = append(ss.firstIDs, info.FirstID)
-		ss.numMasks += seg.numMasks
+		ss.numMasks += seg.NumMasks()
 		entries = append(entries, segCat.Entries()...)
 		wantFirst = info.FirstID + int64(info.NumMasks)
 	}
@@ -79,10 +88,18 @@ func OpenSharded(dir string) (*ShardedStore, *Catalog, error) {
 func (ss *ShardedStore) Dir() string { return ss.dir }
 
 // NumShards returns the number of shard segments.
-func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
+func (ss *ShardedStore) NumShards() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return len(ss.shards)
+}
 
 // NumMasks returns the total number of stored masks across shards.
-func (ss *ShardedStore) NumMasks() int { return ss.numMasks }
+func (ss *ShardedStore) NumMasks() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.numMasks
+}
 
 // MaskW and MaskH return the common mask dimensions.
 func (ss *ShardedStore) MaskW() int { return ss.w }
@@ -90,13 +107,22 @@ func (ss *ShardedStore) MaskH() int { return ss.h }
 
 // DataBytes returns the total stored pixel bytes across shards.
 func (ss *ShardedStore) DataBytes() int64 {
-	return int64(ss.numMasks) * int64(ss.w) * int64(ss.h)
+	return int64(ss.NumMasks()) * int64(ss.w) * int64(ss.h)
+}
+
+// Append returns ErrReadOnly: the sharded layout itself has no WAL.
+// Open the database through OpenIngest to append.
+func (ss *ShardedStore) Append(ctx context.Context, masks []IngestMask) ([]int64, error) {
+	return nil, ErrReadOnly
 }
 
 // Close releases every shard, returning the first error.
 func (ss *ShardedStore) Close() error {
+	ss.mu.RLock()
+	shards := ss.shards
+	ss.mu.RUnlock()
 	var ferr error
-	for _, s := range ss.shards {
+	for _, s := range shards {
 		if err := s.Close(); err != nil && ferr == nil {
 			ferr = err
 		}
@@ -104,39 +130,81 @@ func (ss *ShardedStore) Close() error {
 	return ferr
 }
 
+// addShard publishes one additional shard segment opened from a
+// directory compaction just wrote and fsynced. The segment must
+// continue the id-space exactly (FirstID == NumMasks+1). The new
+// shard joins the shared buffer pool, inherits the throttle, and gets
+// an even slice of the configured cache budget without disturbing the
+// arenas (and resident masks) of existing shards.
+func (ss *ShardedStore) addShard(seg *Store) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if seg.base != int64(ss.numMasks) {
+		return fmt.Errorf("store: addShard: segment starts at id %d, want %d", seg.base+1, ss.numMasks+1)
+	}
+	if seg.w != ss.w || seg.h != ss.h {
+		return fmt.Errorf("store: addShard: segment masks are %dx%d, store holds %dx%d", seg.w, seg.h, ss.w, ss.h)
+	}
+	seg.maskPool = ss.pool
+	seg.SetThrottle(ss.thr)
+	if n := ss.cacheBytes; n != 0 {
+		per := n
+		if n > 0 {
+			per = n / int64(len(ss.shards)+1)
+		}
+		seg.SetCacheBytes(per)
+	}
+	ss.shards = append(ss.shards, seg)
+	ss.firstIDs = append(ss.firstIDs, seg.base+1)
+	ss.numMasks += seg.NumMasks()
+	return nil
+}
+
 // ShardOf returns the index of the shard owning id. Out-of-range ids
 // map to the nearest shard; the segment's own id check rejects them.
 // It implements core.ShardedLoader, so the engine can group
 // verification work per shard.
 func (ss *ShardedStore) ShardOf(id int64) int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.shardOfLocked(id)
+}
+
+func (ss *ShardedStore) shardOfLocked(id int64) int {
 	// firstIDs is ascending: find the last shard starting at or below id.
 	i := sort.Search(len(ss.firstIDs), func(i int) bool { return ss.firstIDs[i] > id }) - 1
 	return max(0, i)
 }
 
-func (ss *ShardedStore) checkID(id int64) error {
+// shardFor resolves id to its owning shard under the read lock,
+// validating the range against the current mask count.
+func (ss *ShardedStore) shardFor(id int64) (*Store, error) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	if id < 1 || id > int64(ss.numMasks) {
-		return fmt.Errorf("store: mask id %d out of range [1, %d]", id, ss.numMasks)
+		return nil, fmt.Errorf("store: mask id %d out of range [1, %d]", id, ss.numMasks)
 	}
-	return nil
+	return ss.shards[ss.shardOfLocked(id)], nil
 }
 
 // LoadMask reads one full mask from its owning shard (or that shard's
 // cache arena). The Store contract — pooled byte-backed buffers,
 // read-only cached masks, ReleaseMask when done — applies unchanged.
 func (ss *ShardedStore) LoadMask(id int64) (*core.Mask, error) {
-	if err := ss.checkID(id); err != nil {
+	s, err := ss.shardFor(id)
+	if err != nil {
 		return nil, err
 	}
-	return ss.shards[ss.ShardOf(id)].LoadMask(id)
+	return s.LoadMask(id)
 }
 
 // LoadRegion reads a sub-rectangle of one mask from its owning shard.
 func (ss *ShardedStore) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
-	if err := ss.checkID(id); err != nil {
+	s, err := ss.shardFor(id)
+	if err != nil {
 		return nil, err
 	}
-	return ss.shards[ss.ShardOf(id)].LoadRegion(id, r)
+	return s.LoadRegion(id, r)
 }
 
 // ReleaseMask returns a mask obtained from LoadMask. A cache-resident
@@ -148,7 +216,10 @@ func (ss *ShardedStore) ReleaseMask(m *core.Mask) {
 	if m == nil || m.Bytes == nil || len(m.Bytes) != ss.w*ss.h || m.W != ss.w || m.H != ss.h {
 		return
 	}
-	for _, s := range ss.shards {
+	ss.mu.RLock()
+	shards := ss.shards
+	ss.mu.RUnlock()
+	for _, s := range shards {
 		if s.releaseCached(m) {
 			return
 		}
@@ -165,6 +236,8 @@ func (ss *ShardedStore) ReleaseMask(m *core.Mask) {
 // shard's resident masks, at the cost of not reassigning idle shards'
 // budget. Reconfigure only while no loads are in flight.
 func (ss *ShardedStore) SetCacheBytes(n int64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
 	ss.cacheBytes = n
 	s := int64(len(ss.shards))
 	for i, seg := range ss.shards {
@@ -180,13 +253,20 @@ func (ss *ShardedStore) SetCacheBytes(n int64) {
 }
 
 // CacheBytes reports the configured total cache budget across shards.
-func (ss *ShardedStore) CacheBytes() int64 { return ss.cacheBytes }
+func (ss *ShardedStore) CacheBytes() int64 {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return ss.cacheBytes
+}
 
 // SetThrottle installs the simulated read-bandwidth limit on every
 // shard. Each shard models its own disk timeline — the point of
 // sharding is per-shard parallel I/O — so the aggregate simulated
 // bandwidth is S times t.BytesPerSec.
 func (ss *ShardedStore) SetThrottle(t Throttle) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.thr = t
 	for _, s := range ss.shards {
 		s.SetThrottle(t)
 	}
@@ -194,6 +274,8 @@ func (ss *ShardedStore) SetThrottle(t Throttle) {
 
 // ResetStats zeroes every shard's resettable counters.
 func (ss *ShardedStore) ResetStats() {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	for _, s := range ss.shards {
 		s.ResetStats()
 	}
@@ -202,6 +284,8 @@ func (ss *ShardedStore) ResetStats() {
 // Stats returns the read counters since the last reset, aggregated
 // over shards (the exact sum of ShardStats).
 func (ss *ShardedStore) Stats() ReadStats {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	var out ReadStats
 	for _, s := range ss.shards {
 		out.add(s.Stats())
@@ -212,6 +296,8 @@ func (ss *ShardedStore) Stats() ReadStats {
 // LifetimeStats returns the never-reset counters aggregated over
 // shards.
 func (ss *ShardedStore) LifetimeStats() ReadStats {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	var out ReadStats
 	for _, s := range ss.shards {
 		out.add(s.LifetimeStats())
@@ -222,6 +308,8 @@ func (ss *ShardedStore) LifetimeStats() ReadStats {
 // ShardStats returns each shard's resettable read counters, indexed
 // like ShardOf. Summing them reproduces Stats exactly.
 func (ss *ShardedStore) ShardStats() []ReadStats {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
 	out := make([]ReadStats, len(ss.shards))
 	for i, s := range ss.shards {
 		out[i] = s.Stats()
@@ -237,4 +325,5 @@ func (s *ReadStats) add(o ReadStats) {
 	s.CacheHits += o.CacheHits
 	s.CacheMisses += o.CacheMisses
 	s.CacheEvicted += o.CacheEvicted
+	s.TailLoads += o.TailLoads
 }

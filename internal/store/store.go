@@ -12,15 +12,23 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"masksearch/internal/core"
 )
+
+// ErrReadOnly is returned by Append on stores without an ingestion
+// path (a plain Store or ShardedStore opened directly rather than
+// through OpenIngest's WAL wrapper).
+var ErrReadOnly = errors.New("store: read-only store (no WAL; open with OpenIngest to append)")
 
 // ReadStats counts storage traffic since the last ResetStats.
 type ReadStats struct {
@@ -40,6 +48,10 @@ type ReadStats struct {
 	// CacheEvicted counts masks the cache dropped to stay within its
 	// byte budget.
 	CacheEvicted int64
+	// TailLoads counts whole-mask loads served from the WAL tail (masks
+	// appended but not yet compacted into the base layout). Zero on
+	// stores without an ingestion path.
+	TailLoads int64
 }
 
 // Sub returns the counter deltas of s relative to an earlier snapshot
@@ -55,6 +67,7 @@ func (s ReadStats) Sub(prev ReadStats) ReadStats {
 		CacheHits:    s.CacheHits - prev.CacheHits,
 		CacheMisses:  s.CacheMisses - prev.CacheMisses,
 		CacheEvicted: s.CacheEvicted - prev.CacheEvicted,
+		TailLoads:    s.TailLoads - prev.TailLoads,
 	}
 }
 
@@ -99,6 +112,11 @@ type MaskStore interface {
 	LoadMask(id int64) (*core.Mask, error)
 	LoadRegion(id int64, r core.Rect) (*core.Mask, error)
 	ReleaseMask(m *core.Mask)
+	// Append durably stores new masks and returns their assigned ids,
+	// acknowledging only after the data is fsynced. Mask ids in the
+	// input entries are ignored; the store assigns the next contiguous
+	// ids. Stores without an ingestion path return ErrReadOnly.
+	Append(ctx context.Context, masks []IngestMask) ([]int64, error)
 	NumMasks() int
 	MaskW() int
 	MaskH() int
@@ -119,11 +137,21 @@ type MaskStore interface {
 // and ReleaseMask recycles those buffers through a sync.Pool so a
 // steady verification stream allocates nothing. All methods are safe
 // for concurrent use; the parallel engine loads from many goroutines.
+// IngestMask is one mask submitted to MaskStore.Append: its catalog
+// metadata (the MaskID field is assigned by the store) plus its raw
+// uint8 pixels, length MaskW*MaskH.
+type IngestMask struct {
+	Entry Entry
+	Pix   []byte
+}
+
 type Store struct {
-	dir      string
-	f        *os.File
-	w, h     int
-	numMasks int
+	dir  string
+	f    *os.File
+	w, h int
+	// numMasks is atomic because compaction extends the segment
+	// (extend) while concurrent queries route loads through checkID.
+	numMasks atomic.Int64
 	// base offsets mask ids for sharded segments: the store serves ids
 	// (base, base+numMasks], and id i lives at offset (i-base-1)*W*H.
 	// 0 for ordinary unsharded stores.
@@ -172,6 +200,14 @@ func Open(dir string) (*Store, *Catalog, error) {
 	if err := readJSON(filepath.Join(dir, catalogFile), &entries); err != nil {
 		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
+	// The catalog must agree with the manifest exactly: a longer
+	// catalog would advertise ids whose pixels don't exist, a shorter
+	// one would lose metadata for stored masks. Recovery repairs an
+	// over-long catalog left by a crashed compaction before reopening.
+	if len(entries) != man.NumMasks {
+		return nil, nil, fmt.Errorf("store: open %s: catalog has %d rows, manifest says %d masks — inconsistent dataset",
+			dir, len(entries), man.NumMasks)
+	}
 	f, err := os.Open(filepath.Join(dir, masksFile))
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
@@ -189,10 +225,11 @@ func Open(dir string) (*Store, *Catalog, error) {
 			dir, fi.Size(), want, man.NumMasks, spec.W, spec.H)
 	}
 	s := &Store{
-		dir: dir, f: f, w: spec.W, h: spec.H, numMasks: man.NumMasks,
+		dir: dir, f: f, w: spec.W, h: spec.H,
 		base:     max(0, man.FirstID-1),
 		maskPool: &sync.Pool{},
 	}
+	s.numMasks.Store(int64(man.NumMasks))
 	return s, NewCatalog(entries), nil
 }
 
@@ -219,14 +256,25 @@ func OpenAny(dir string) (MaskStore, *Catalog, error) {
 func (s *Store) Dir() string { return s.dir }
 
 // NumMasks returns the number of stored masks.
-func (s *Store) NumMasks() int { return s.numMasks }
+func (s *Store) NumMasks() int { return int(s.numMasks.Load()) }
 
 // MaskW and MaskH return the common mask dimensions.
 func (s *Store) MaskW() int { return s.w }
 func (s *Store) MaskH() int { return s.h }
 
 // DataBytes returns the total stored pixel bytes.
-func (s *Store) DataBytes() int64 { return int64(s.numMasks) * int64(s.w) * int64(s.h) }
+func (s *Store) DataBytes() int64 { return s.numMasks.Load() * int64(s.w) * int64(s.h) }
+
+// Append returns ErrReadOnly: a bare segment has no WAL to make an
+// append durable. Open the database through OpenIngest instead.
+func (s *Store) Append(ctx context.Context, masks []IngestMask) ([]int64, error) {
+	return nil, ErrReadOnly
+}
+
+// extend publishes n additional masks appended (and fsynced) to
+// masks.bin by compaction: ids up to base+numMasks+n become loadable.
+// The caller must have made the new pixels durable first.
+func (s *Store) extend(n int) { s.numMasks.Add(int64(n)) }
 
 // Close releases the underlying file.
 func (s *Store) Close() error { return s.f.Close() }
@@ -334,8 +382,8 @@ func (s *Store) accountCache(hits, misses, evicted int64) {
 }
 
 func (s *Store) checkID(id int64) error {
-	if id <= s.base || id > s.base+int64(s.numMasks) {
-		return fmt.Errorf("store: mask id %d out of range [%d, %d]", id, s.base+1, s.base+int64(s.numMasks))
+	if n := s.numMasks.Load(); id <= s.base || id > s.base+n {
+		return fmt.Errorf("store: mask id %d out of range [%d, %d]", id, s.base+1, s.base+n)
 	}
 	return nil
 }

@@ -1,0 +1,1065 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"masksearch/internal/core"
+)
+
+// The write-ahead log lives in <db>/wal/ as numbered append-only
+// segment files:
+//
+//	wal/seg-00000001.wal
+//	wal/seg-00000002.wal
+//	…
+//
+// Each segment starts with a fixed header (magic, first mask id, mask
+// dimensions, CRC32C) followed by length-prefixed records:
+//
+//	[1B type][4B payload len][payload][4B CRC32C over type+len+payload]
+//
+// A batch of appended masks is N mask records ('M', metadata + raw
+// pixels) followed by one commit record ('C', count + last id). The
+// whole batch is buffered, written, and fsynced before Append
+// acknowledges — acknowledged ⇒ durable. Recovery replays only masks
+// covered by a valid commit record, so a crash mid-batch (torn record
+// or missing commit) rolls the whole batch back: the torn tail is
+// truncated at the last commit point and never propagated.
+//
+// All integers are little-endian; checksums use the Castagnoli
+// polynomial (CRC32C).
+const (
+	walDirName = "wal"
+	walMagic   = "MSWAL001"
+
+	walHeaderSize = 28 // magic(8) + firstID(8) + w(4) + h(4) + crc(4)
+
+	recMask   = 'M'
+	recCommit = 'C'
+
+	// maskRecFixed is the mask payload size before the pixel bytes:
+	// maskID(8) imageID(8) modelID(4) maskType(4) label(4) pred(4)
+	// modified(1) object(16) pixLen(4).
+	maskRecFixed = 53
+
+	// defaultRollBytes seals a segment once its durable size passes
+	// this, bounding per-segment replay work and letting compaction
+	// retire storage in pieces.
+	defaultRollBytes = 4 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// IngestStats counts the ingestion path's work since Open.
+type IngestStats struct {
+	// AppendedMasks / AppendedBatches / AppendedBytes count
+	// acknowledged Append traffic (bytes are pixel bytes).
+	AppendedMasks   int64
+	AppendedBatches int64
+	AppendedBytes   int64
+	// ReplayedMasks counts masks recovered from the WAL at Open.
+	ReplayedMasks int64
+	// TornTruncations counts torn WAL tails truncated (or empty torn
+	// segments removed) by recovery.
+	TornTruncations int64
+	// TailMasks is the current number of WAL-resident masks (appended
+	// but not yet compacted into the base layout).
+	TailMasks int
+	// WALSegments / WALBytes describe the live WAL (durable bytes).
+	WALSegments int
+	WALBytes    int64
+	// Compactions / CompactedMasks count Compact runs that folded the
+	// WAL into the base layout, and the masks they moved.
+	Compactions    int64
+	CompactedMasks int64
+}
+
+// tailMask is one WAL-resident mask: its raw pixels plus the segment
+// file holding its durable copy (provenance for msinspect).
+type tailMask struct {
+	pix []byte
+	seg string
+}
+
+// segInfo describes one sealed WAL segment: its durable, committed
+// content.
+type segInfo struct {
+	name  string
+	masks int
+	bytes int64
+}
+
+// segWriter is the open, actively appended WAL segment.
+type segWriter struct {
+	name         string
+	seq          int
+	f            FileW
+	firstID      int64
+	off          int64 // bytes written, including any failed batch
+	committedOff int64 // durable bytes through the last commit record
+	masks        int   // committed masks
+	broken       bool  // a write or fsync failed; roll before next use
+}
+
+// WALStore wraps a read-only base MaskStore (single segment or
+// sharded) with an online ingestion path: Append writes masks to a
+// checksummed WAL and acknowledges after fsync, loads of WAL-resident
+// ids are served from an in-memory tail, and Compact folds the durable
+// tail into the base layout. Open a database through OpenIngest to get
+// one.
+//
+// Reads and appends run concurrently: queries resolve their id space
+// against a catalog snapshot (Catalog.View), and the id ranges they
+// can see — base ids plus the committed WAL prefix at snapshot time —
+// never move underneath them. Append, Compact and Close serialize
+// against each other on mu.
+type WALStore struct {
+	base   MaskStore
+	cat    *Catalog
+	fsys   FS
+	dir    string
+	walDir string
+	w, h   int
+
+	mu        sync.Mutex
+	man       Manifest // top-level manifest, updated by compaction
+	active    *segWriter
+	sealed    []segInfo
+	nextSeg   int
+	nextID    int64
+	rollBytes int64
+	closed    bool
+
+	// baseMax is the highest mask id the base store serves; ids above
+	// it live in the WAL tail. Compaction bumps it after extending the
+	// base, so a tail miss re-checks it before failing.
+	baseMax atomic.Int64
+
+	tailMu sync.RWMutex
+	tail   map[int64]tailMask
+
+	replayed []int64
+
+	appendedMasks   atomic.Int64
+	appendedBatches atomic.Int64
+	appendedBytes   atomic.Int64
+	replayedMasks   atomic.Int64
+	tornTruncations atomic.Int64
+	compactions     atomic.Int64
+	compactedMasks  atomic.Int64
+	tailLoads       atomic.Int64
+	tailLoadsLife   atomic.Int64
+}
+
+// OpenIngest opens a database directory for reading and online
+// ingestion: it repairs any partial compaction left by a crash, opens
+// the base layout, then scans the WAL — truncating torn tails at the
+// first bad checksum or missing commit — and replays the durable
+// prefix into the catalog. Mutating filesystem operations go through
+// fsys (DirFS in production; a FaultFS under test).
+func OpenIngest(fsys FS, dir string) (*WALStore, *Catalog, error) {
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	walDir := filepath.Join(dir, walDirName)
+	hadWAL := false
+	if fi, err := os.Stat(walDir); err == nil && fi.IsDir() {
+		hadWAL = true
+		if err := repairBase(fsys, dir, man); err != nil {
+			return nil, nil, fmt.Errorf("store: open %s: repair: %w", dir, err)
+		}
+	}
+	base, cat, err := OpenAny(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws := &WALStore{
+		base: base, cat: cat, fsys: fsys, dir: dir, walDir: walDir,
+		w: base.MaskW(), h: base.MaskH(),
+		man:       man,
+		nextSeg:   1,
+		rollBytes: defaultRollBytes,
+		tail:      map[int64]tailMask{},
+	}
+	ws.baseMax.Store(int64(base.NumMasks()))
+	ws.nextID = ws.baseMax.Load() + 1
+	if hadWAL {
+		if err := ws.recover(); err != nil {
+			base.Close()
+			return nil, nil, fmt.Errorf("store: open %s: wal recovery: %w", dir, err)
+		}
+	} else {
+		if err := fsys.MkdirAll(walDir); err != nil {
+			base.Close()
+			return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+		if err := fsys.SyncDir(dir); err != nil {
+			base.Close()
+			return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return ws, cat, nil
+}
+
+// repairBase undoes the visible effects of a compaction that crashed
+// before its commit point (the manifest rename): a masks.bin longer
+// than the manifest implies is truncated back, an over-long catalog is
+// trimmed, and shard directories the manifest does not list are
+// removed. Everything it deletes is still covered by WAL segments, so
+// no durable mask is lost.
+func repairBase(fsys FS, dir string, man Manifest) error {
+	if len(man.Shards) > 0 {
+		names, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+		if err != nil {
+			return err
+		}
+		listed := map[string]bool{}
+		for _, info := range man.Shards {
+			listed[info.Dir] = true
+		}
+		removed := false
+		for _, p := range names {
+			if !listed[filepath.Base(p)] {
+				if err := fsys.RemoveAll(p); err != nil {
+					return err
+				}
+				removed = true
+			}
+		}
+		if removed {
+			return fsys.SyncDir(dir)
+		}
+		return nil
+	}
+	spec := man.Spec.withDefaults()
+	want := int64(man.NumMasks) * int64(spec.W) * int64(spec.H)
+	if fi, err := os.Stat(filepath.Join(dir, masksFile)); err == nil && fi.Size() > want {
+		if err := fsys.Truncate(filepath.Join(dir, masksFile), want); err != nil {
+			return err
+		}
+	}
+	var entries []Entry
+	if err := readJSON(filepath.Join(dir, catalogFile), &entries); err == nil && len(entries) > man.NumMasks {
+		if err := writeJSONSync(fsys, filepath.Join(dir, catalogFile), entries[:man.NumMasks]); err != nil {
+			return err
+		}
+		return fsys.SyncDir(dir)
+	}
+	return nil
+}
+
+// recover scans the WAL segments in sequence order, truncates torn
+// tails, removes segments already covered by the base layout, and
+// replays the remaining durable masks into the catalog and tail.
+func (ws *WALStore) recover() error {
+	des, err := os.ReadDir(ws.walDir)
+	if err != nil {
+		return err
+	}
+	type segFile struct {
+		name string
+		seq  int
+	}
+	var segs []segFile
+	for _, de := range des {
+		name := de.Name()
+		var seq int
+		if _, err := fmt.Sscanf(name, "seg-%08d.wal", &seq); err != nil || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		segs = append(segs, segFile{name: name, seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+
+	baseMax := ws.baseMax.Load()
+	expected := baseMax + 1
+	removedAny := false
+	for _, sf := range segs {
+		path := filepath.Join(ws.walDir, sf.name)
+		rec, err := scanSegment(path, ws.w, ws.h)
+		if err != nil {
+			return fmt.Errorf("segment %s: %w", sf.name, err)
+		}
+		if rec.torn {
+			ws.tornTruncations.Add(1)
+		}
+		if len(rec.masks) == 0 {
+			// Nothing durable in it (torn header, or no commit record
+			// ever made it to disk): the segment carries no
+			// acknowledged data and only clutters the sequence.
+			if err := ws.fsys.Remove(path); err != nil {
+				return err
+			}
+			removedAny = true
+			continue
+		}
+		first, last := rec.masks[0].entry.MaskID, rec.masks[len(rec.masks)-1].entry.MaskID
+		if last <= baseMax {
+			// Fully covered by the base layout: a finished compaction
+			// crashed before it got to delete this segment.
+			if err := ws.fsys.Remove(path); err != nil {
+				return err
+			}
+			removedAny = true
+			continue
+		}
+		if first != expected {
+			return fmt.Errorf("segment %s holds ids [%d, %d], want start %d — WAL sequence has a gap", sf.name, first, last, expected)
+		}
+		if rec.committedSize < rec.fileSize {
+			if err := ws.fsys.Truncate(path, rec.committedSize); err != nil {
+				return err
+			}
+		}
+		ws.tailMu.Lock()
+		entries := make([]Entry, 0, len(rec.masks))
+		for _, m := range rec.masks {
+			ws.tail[m.entry.MaskID] = tailMask{pix: m.pix, seg: sf.name}
+			entries = append(entries, m.entry)
+			ws.replayed = append(ws.replayed, m.entry.MaskID)
+		}
+		ws.tailMu.Unlock()
+		ws.cat.Append(entries)
+		ws.sealed = append(ws.sealed, segInfo{name: sf.name, masks: len(rec.masks), bytes: rec.committedSize})
+		ws.replayedMasks.Add(int64(len(rec.masks)))
+		expected = last + 1
+		ws.nextSeg = sf.seq + 1
+		ws.nextID = expected
+	}
+	if len(segs) > 0 && ws.nextSeg <= segs[len(segs)-1].seq {
+		ws.nextSeg = segs[len(segs)-1].seq + 1
+	}
+	if removedAny {
+		if err := ws.fsys.SyncDir(ws.walDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scannedSeg is the durable content of one WAL segment file.
+type scannedSeg struct {
+	masks         []scannedMask
+	committedSize int64
+	fileSize      int64
+	torn          bool
+}
+
+type scannedMask struct {
+	entry Entry
+	pix   []byte
+}
+
+// scanSegment reads one segment file and returns every mask covered by
+// a valid commit record, stopping at the first bad checksum, short
+// record, or batch without its commit. It never modifies the file; the
+// caller truncates at committedSize.
+func scanSegment(path string, w, h int) (scannedSeg, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return scannedSeg{}, err
+	}
+	out := scannedSeg{fileSize: int64(len(b))}
+	if len(b) < walHeaderSize || string(b[:8]) != walMagic ||
+		binary.LittleEndian.Uint32(b[24:28]) != crc32.Checksum(b[:24], castagnoli) {
+		// Torn or foreign header: the header is fsynced before any
+		// record, so nothing in this file can be durable data of ours.
+		out.torn = true
+		return out, nil
+	}
+	hw := int(int32(binary.LittleEndian.Uint32(b[16:20])))
+	hh := int(int32(binary.LittleEndian.Uint32(b[20:24])))
+	if hw != w || hh != h {
+		return scannedSeg{}, fmt.Errorf("segment holds %dx%d masks, store is %dx%d", hw, hh, w, h)
+	}
+	off := int64(walHeaderSize)
+	out.committedSize = off
+	var pending []scannedMask
+	for {
+		rec, n, ok := nextRecord(b[off:])
+		if !ok {
+			break
+		}
+		switch rec.typ {
+		case recMask:
+			e, pix, err := decodeMaskPayload(rec.payload, w*h)
+			if err != nil {
+				out.torn = true
+				return out, nil
+			}
+			if len(pending) > 0 && e.MaskID != pending[len(pending)-1].entry.MaskID+1 {
+				out.torn = true
+				return out, nil
+			}
+			pending = append(pending, scannedMask{entry: e, pix: pix})
+		case recCommit:
+			if len(rec.payload) != 12 {
+				out.torn = true
+				return out, nil
+			}
+			count := int(binary.LittleEndian.Uint32(rec.payload[0:4]))
+			lastID := int64(binary.LittleEndian.Uint64(rec.payload[4:12]))
+			if count != len(pending) || count == 0 || pending[count-1].entry.MaskID != lastID {
+				out.torn = true
+				return out, nil
+			}
+			out.masks = append(out.masks, pending...)
+			pending = nil
+			out.committedSize = off + n
+		default:
+			out.torn = true
+			return out, nil
+		}
+		off += n
+	}
+	// A torn record, a batch missing its commit, or trailing garbage
+	// all leave bytes past the last commit point.
+	if out.committedSize < out.fileSize || len(pending) > 0 {
+		out.torn = true
+	}
+	return out, nil
+}
+
+// nextRecord parses one record at the start of b, returning it with
+// its encoded size. ok is false on a short or checksum-failing record.
+func nextRecord(b []byte) (rec struct {
+	typ     byte
+	payload []byte
+}, n int64, ok bool) {
+	if len(b) == 0 {
+		return rec, 0, false
+	}
+	if len(b) < 5 {
+		return rec, 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(b[1:5]))
+	total := 5 + plen + 4
+	if plen < 0 || len(b) < total {
+		return rec, 0, false
+	}
+	want := binary.LittleEndian.Uint32(b[5+plen : total])
+	if crc32.Checksum(b[:5+plen], castagnoli) != want {
+		return rec, 0, false
+	}
+	rec.typ = b[0]
+	rec.payload = b[5 : 5+plen]
+	return rec, int64(total), true
+}
+
+// appendRecord encodes one record (type, payload via fill) onto buf.
+func appendRecord(buf []byte, typ byte, plen int, fill func(p []byte)) []byte {
+	start := len(buf)
+	buf = append(buf, typ, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(buf[start+1:], uint32(plen))
+	buf = append(buf, make([]byte, plen)...)
+	fill(buf[start+5 : start+5+plen])
+	sum := crc32.Checksum(buf[start:], castagnoli)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	return append(buf, crc[:]...)
+}
+
+// encodeMaskPayload fills p (maskRecFixed+len(pix) bytes) with one
+// mask record payload.
+func encodeMaskPayload(p []byte, e Entry, pix []byte) {
+	binary.LittleEndian.PutUint64(p[0:], uint64(e.MaskID))
+	binary.LittleEndian.PutUint64(p[8:], uint64(e.ImageID))
+	binary.LittleEndian.PutUint32(p[16:], uint32(int32(e.ModelID)))
+	binary.LittleEndian.PutUint32(p[20:], uint32(int32(e.MaskType)))
+	binary.LittleEndian.PutUint32(p[24:], uint32(int32(e.Label)))
+	binary.LittleEndian.PutUint32(p[28:], uint32(int32(e.Pred)))
+	if e.Modified {
+		p[32] = 1
+	}
+	binary.LittleEndian.PutUint32(p[33:], uint32(int32(e.Object.X0)))
+	binary.LittleEndian.PutUint32(p[37:], uint32(int32(e.Object.Y0)))
+	binary.LittleEndian.PutUint32(p[41:], uint32(int32(e.Object.X1)))
+	binary.LittleEndian.PutUint32(p[45:], uint32(int32(e.Object.Y1)))
+	binary.LittleEndian.PutUint32(p[49:], uint32(len(pix)))
+	copy(p[maskRecFixed:], pix)
+}
+
+func decodeMaskPayload(p []byte, pixLen int) (Entry, []byte, error) {
+	if len(p) < maskRecFixed {
+		return Entry{}, nil, fmt.Errorf("short mask payload (%d bytes)", len(p))
+	}
+	var e Entry
+	e.MaskID = int64(binary.LittleEndian.Uint64(p[0:]))
+	e.ImageID = int64(binary.LittleEndian.Uint64(p[8:]))
+	e.ModelID = int(int32(binary.LittleEndian.Uint32(p[16:])))
+	e.MaskType = int(int32(binary.LittleEndian.Uint32(p[20:])))
+	e.Label = int(int32(binary.LittleEndian.Uint32(p[24:])))
+	e.Pred = int(int32(binary.LittleEndian.Uint32(p[28:])))
+	e.Modified = p[32] == 1
+	e.Object = core.Rect{
+		X0: int(int32(binary.LittleEndian.Uint32(p[33:]))),
+		Y0: int(int32(binary.LittleEndian.Uint32(p[37:]))),
+		X1: int(int32(binary.LittleEndian.Uint32(p[41:]))),
+		Y1: int(int32(binary.LittleEndian.Uint32(p[45:]))),
+	}
+	n := int(binary.LittleEndian.Uint32(p[49:]))
+	if n != pixLen || len(p) != maskRecFixed+n {
+		return Entry{}, nil, fmt.Errorf("mask payload is %d pixel bytes, want %d", n, pixLen)
+	}
+	pix := make([]byte, n)
+	copy(pix, p[maskRecFixed:])
+	return e, pix, nil
+}
+
+// Base returns the wrapped base store (for shard introspection).
+func (ws *WALStore) Base() MaskStore { return ws.base }
+
+// ReplayedIDs returns the mask ids recovery replayed from the WAL, in
+// id order; the DB facade feeds them to MemoryIndex.Observe so
+// replayed masks are indexed like freshly appended ones.
+func (ws *WALStore) ReplayedIDs() []int64 { return ws.replayed }
+
+// SetRollBytes overrides the segment roll threshold (tests use tiny
+// values to force multi-segment WALs).
+func (ws *WALStore) SetRollBytes(n int64) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if n > 0 {
+		ws.rollBytes = n
+	}
+}
+
+// Append durably stores masks and returns their newly assigned,
+// contiguous ids. The batch is written to the WAL as one transaction —
+// N mask records plus a commit record — and fsynced before the method
+// returns: an acknowledged append survives any crash, and a crash
+// mid-batch rolls the entire batch back on recovery. On error nothing
+// is acknowledged and the assigned ids are reused by the next attempt.
+func (ws *WALStore) Append(ctx context.Context, masks []IngestMask) ([]int64, error) {
+	if len(masks) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	want := ws.w * ws.h
+	for i, m := range masks {
+		if len(m.Pix) != want {
+			return nil, fmt.Errorf("store: append: mask %d has %d pixel bytes, want %d (%dx%d)", i, len(m.Pix), want, ws.w, ws.h)
+		}
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.closed {
+		return nil, fmt.Errorf("store: append: store is closed")
+	}
+	if err := ws.ensureSegmentLocked(); err != nil {
+		return nil, err
+	}
+
+	// Encode the whole batch, ids assigned tentatively: they advance
+	// only when the batch is durable, so a failed batch's ids are
+	// reassigned by the retry.
+	firstID := ws.nextID
+	buf := make([]byte, 0, len(masks)*(9+maskRecFixed+want)+21)
+	entries := make([]Entry, len(masks))
+	ids := make([]int64, len(masks))
+	for i, m := range masks {
+		e := m.Entry
+		e.MaskID = firstID + int64(i)
+		entries[i] = e
+		ids[i] = e.MaskID
+		pix := m.Pix
+		buf = appendRecord(buf, recMask, maskRecFixed+want, func(p []byte) {
+			encodeMaskPayload(p, e, pix)
+		})
+	}
+	lastID := ids[len(ids)-1]
+	buf = appendRecord(buf, recCommit, 12, func(p []byte) {
+		binary.LittleEndian.PutUint32(p[0:], uint32(len(masks)))
+		binary.LittleEndian.PutUint64(p[4:], uint64(lastID))
+	})
+
+	seg := ws.active
+	if _, err := seg.f.Write(buf); err != nil {
+		seg.off += int64(len(buf)) // unknown how much landed; assume all
+		ws.sealBrokenLocked()
+		return nil, fmt.Errorf("store: append: wal write: %w", err)
+	}
+	seg.off += int64(len(buf))
+	if err := seg.f.Sync(); err != nil {
+		ws.sealBrokenLocked()
+		return nil, fmt.Errorf("store: append: wal fsync: %w", err)
+	}
+	// Durable: acknowledge. Publish pixels before catalog rows so any
+	// id a catalog snapshot exposes is already loadable.
+	seg.committedOff = seg.off
+	seg.masks += len(masks)
+	ws.nextID = lastID + 1
+	ws.tailMu.Lock()
+	for i, e := range entries {
+		pix := make([]byte, want)
+		copy(pix, masks[i].Pix)
+		ws.tail[e.MaskID] = tailMask{pix: pix, seg: seg.name}
+	}
+	ws.tailMu.Unlock()
+	ws.cat.Append(entries)
+	ws.appendedMasks.Add(int64(len(masks)))
+	ws.appendedBatches.Add(1)
+	ws.appendedBytes.Add(int64(len(masks) * want))
+	return ids, nil
+}
+
+// ensureSegmentLocked makes sure a healthy, under-threshold active
+// segment is open, rolling to a fresh one as needed. The new segment's
+// header is written, fsynced, and its directory entry synced before
+// any record lands in it.
+func (ws *WALStore) ensureSegmentLocked() error {
+	if seg := ws.active; seg != nil && !seg.broken && seg.committedOff < ws.rollBytes {
+		return nil
+	}
+	ws.sealActiveLocked()
+	name := fmt.Sprintf("seg-%08d.wal", ws.nextSeg)
+	f, err := ws.fsys.Create(filepath.Join(ws.walDir, name))
+	if err != nil {
+		return fmt.Errorf("store: append: create wal segment: %w", err)
+	}
+	hdr := make([]byte, walHeaderSize)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(ws.nextID))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(int32(ws.w)))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(int32(ws.h)))
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.Checksum(hdr[:24], castagnoli))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("store: append: write wal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: append: fsync wal header: %w", err)
+	}
+	if err := ws.fsys.SyncDir(ws.walDir); err != nil {
+		f.Close()
+		return fmt.Errorf("store: append: fsync wal dir: %w", err)
+	}
+	ws.active = &segWriter{
+		name: name, seq: ws.nextSeg, f: f, firstID: ws.nextID,
+		off: walHeaderSize, committedOff: walHeaderSize,
+	}
+	ws.nextSeg++
+	return nil
+}
+
+// sealActiveLocked closes the active segment. Committed content is
+// kept (joining the sealed list); a broken or empty segment is trimmed
+// back to its committed bytes, or removed entirely when it holds none.
+// Cleanup here is best-effort — recovery performs the same repairs on
+// the next open.
+func (ws *WALStore) sealActiveLocked() {
+	seg := ws.active
+	if seg == nil {
+		return
+	}
+	ws.active = nil
+	seg.f.Close()
+	path := filepath.Join(ws.walDir, seg.name)
+	if seg.masks == 0 {
+		ws.fsys.Remove(path)
+		return
+	}
+	if seg.off > seg.committedOff {
+		ws.fsys.Truncate(path, seg.committedOff)
+	}
+	ws.sealed = append(ws.sealed, segInfo{name: seg.name, masks: seg.masks, bytes: seg.committedOff})
+}
+
+// sealBrokenLocked retires the active segment after a failed write or
+// fsync: the next append rolls to a fresh segment rather than trusting
+// a file whose on-disk state is unknown past the last commit.
+func (ws *WALStore) sealBrokenLocked() {
+	if ws.active != nil {
+		ws.active.broken = true
+	}
+	ws.sealActiveLocked()
+}
+
+// Compact folds every durable WAL mask into the base layout and
+// deletes the retired segments, returning the number of masks moved.
+// On a single-segment base the pixels are appended to masks.bin and
+// the catalog and manifest are atomically rewritten (the manifest
+// rename is the commit point); on a sharded base the batch becomes a
+// brand-new shard directory, committed by the top-level manifest
+// rename. Either way a crash before the commit point leaves the WAL
+// authoritative and recovery repairs the partial write; a crash after
+// it leaves only redundant segments, which recovery deletes.
+//
+// Compact holds the ingest lock for its duration, so appends stall
+// while it runs; reads are unaffected.
+func (ws *WALStore) Compact(ctx context.Context) (int, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.closed {
+		return 0, fmt.Errorf("store: compact: store is closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	ws.sealActiveLocked()
+	baseMax := ws.baseMax.Load()
+	n := int(ws.nextID - 1 - baseMax)
+	if n == 0 {
+		return 0, nil
+	}
+
+	// Gather the tail in id order: pixels from the tail map, metadata
+	// from the catalog.
+	entries := make([]Entry, 0, n)
+	pixes := make([][]byte, 0, n)
+	ws.tailMu.RLock()
+	for id := baseMax + 1; id < ws.nextID; id++ {
+		tm, ok := ws.tail[id]
+		if !ok {
+			ws.tailMu.RUnlock()
+			return 0, fmt.Errorf("store: compact: mask %d missing from tail", id)
+		}
+		pixes = append(pixes, tm.pix)
+	}
+	ws.tailMu.RUnlock()
+	for id := baseMax + 1; id < ws.nextID; id++ {
+		e, err := ws.cat.Entry(id)
+		if err != nil {
+			return 0, fmt.Errorf("store: compact: %w", err)
+		}
+		entries = append(entries, e)
+	}
+
+	var err error
+	switch base := ws.base.(type) {
+	case *Store:
+		err = ws.compactSingleLocked(base, entries, pixes)
+	case *ShardedStore:
+		err = ws.compactShardedLocked(base, entries, pixes)
+	default:
+		return 0, fmt.Errorf("store: compact: unsupported base store %T", ws.base)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	// Committed and published: the WAL segments are now redundant.
+	ws.tailMu.Lock()
+	for id := baseMax + 1; id < ws.nextID; id++ {
+		delete(ws.tail, id)
+	}
+	ws.tailMu.Unlock()
+	for _, seg := range ws.sealed {
+		ws.fsys.Remove(filepath.Join(ws.walDir, seg.name))
+	}
+	ws.sealed = nil
+	ws.fsys.SyncDir(ws.walDir)
+	ws.compactions.Add(1)
+	ws.compactedMasks.Add(int64(n))
+	return n, nil
+}
+
+// compactSingleLocked folds the tail into a single-segment base:
+// append pixels to masks.bin (fsync), rewrite catalog.json, then
+// commit by renaming the new manifest into place and syncing the
+// directory. Publishes the new id range into the live base on success.
+func (ws *WALStore) compactSingleLocked(base *Store, entries []Entry, pixes [][]byte) error {
+	path := filepath.Join(ws.dir, masksFile)
+	want := int64(base.NumMasks()) * int64(ws.w) * int64(ws.h)
+	// Self-heal a previous compaction attempt that appended pixels but
+	// failed before its commit: those bytes are not referenced by the
+	// manifest and are about to be rewritten.
+	if fi, err := os.Stat(path); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	} else if fi.Size() > want {
+		if err := ws.fsys.Truncate(path, want); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	} else if fi.Size() < want {
+		return fmt.Errorf("store: compact: masks.bin is %d bytes, want %d", fi.Size(), want)
+	}
+	f, err := ws.fsys.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	for _, pix := range pixes {
+		if _, err := f.Write(pix); err != nil {
+			f.Close()
+			return fmt.Errorf("store: compact: append pixels: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: fsync masks.bin: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := writeJSONSync(ws.fsys, filepath.Join(ws.dir, catalogFile), ws.cat.Entries()); err != nil {
+		return fmt.Errorf("store: compact: write catalog: %w", err)
+	}
+	man := ws.man
+	man.NumMasks += len(entries)
+	if err := writeJSONSync(ws.fsys, filepath.Join(ws.dir, manifestFile), man); err != nil {
+		return fmt.Errorf("store: compact: write manifest: %w", err)
+	}
+	if err := ws.fsys.SyncDir(ws.dir); err != nil {
+		return fmt.Errorf("store: compact: fsync dir: %w", err)
+	}
+	ws.man = man
+	base.extend(len(entries))
+	ws.baseMax.Add(int64(len(entries)))
+	return nil
+}
+
+// compactShardedLocked folds the tail into a sharded base as one
+// brand-new shard directory holding exactly this batch, committed by
+// the top-level manifest rename. Existing shards are never rewritten.
+func (ws *WALStore) compactShardedLocked(base *ShardedStore, entries []Entry, pixes [][]byte) error {
+	firstID := entries[0].MaskID
+	name := ShardDirName(len(ws.man.Shards))
+	shardDir := filepath.Join(ws.dir, name)
+	if err := ws.fsys.RemoveAll(shardDir); err != nil {
+		return fmt.Errorf("store: compact: clear stale shard dir: %w", err)
+	}
+	if err := ws.fsys.MkdirAll(shardDir); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	f, err := ws.fsys.Create(filepath.Join(shardDir, masksFile))
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	for _, pix := range pixes {
+		if _, err := f.Write(pix); err != nil {
+			f.Close()
+			return fmt.Errorf("store: compact: write shard pixels: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact: fsync shard pixels: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := writeJSONSync(ws.fsys, filepath.Join(shardDir, catalogFile), entries); err != nil {
+		return fmt.Errorf("store: compact: write shard catalog: %w", err)
+	}
+	segMan := Manifest{Spec: ws.man.Spec, NumMasks: len(entries), FirstID: firstID}
+	if err := writeJSONSync(ws.fsys, filepath.Join(shardDir, manifestFile), segMan); err != nil {
+		return fmt.Errorf("store: compact: write shard manifest: %w", err)
+	}
+	if err := ws.fsys.SyncDir(shardDir); err != nil {
+		return fmt.Errorf("store: compact: fsync shard dir: %w", err)
+	}
+	man := ws.man
+	man.Shards = append(append([]ShardInfo{}, man.Shards...),
+		ShardInfo{Dir: name, FirstID: firstID, NumMasks: len(entries)})
+	man.NumMasks += len(entries)
+	if err := writeJSONSync(ws.fsys, filepath.Join(ws.dir, manifestFile), man); err != nil {
+		return fmt.Errorf("store: compact: write manifest: %w", err)
+	}
+	if err := ws.fsys.SyncDir(ws.dir); err != nil {
+		return fmt.Errorf("store: compact: fsync dir: %w", err)
+	}
+	ws.man = man
+	seg, _, err := Open(shardDir)
+	if err != nil {
+		return fmt.Errorf("store: compact: reopen new shard: %w", err)
+	}
+	if err := base.addShard(seg); err != nil {
+		seg.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	ws.baseMax.Add(int64(len(entries)))
+	return nil
+}
+
+// LoadMask serves base ids from the base store and WAL-resident ids
+// from the in-memory tail (copying into a pooled-compatible buffer).
+func (ws *WALStore) LoadMask(id int64) (*core.Mask, error) {
+	if id <= ws.baseMax.Load() {
+		return ws.base.LoadMask(id)
+	}
+	ws.tailMu.RLock()
+	tm, ok := ws.tail[id]
+	ws.tailMu.RUnlock()
+	if !ok {
+		// Compaction may have migrated the id between the baseMax check
+		// and the tail lookup; the base serves it now.
+		if id <= ws.baseMax.Load() {
+			return ws.base.LoadMask(id)
+		}
+		return nil, fmt.Errorf("store: mask id %d out of range [1, %d]", id, ws.nextIDSnapshot()-1)
+	}
+	m := core.NewByteMask(ws.w, ws.h)
+	copy(m.Bytes, tm.pix)
+	ws.tailLoads.Add(1)
+	ws.tailLoadsLife.Add(1)
+	return m, nil
+}
+
+// LoadRegion serves sub-rectangle reads, from the base store or the
+// tail copy.
+func (ws *WALStore) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
+	if id <= ws.baseMax.Load() {
+		return ws.base.LoadRegion(id, r)
+	}
+	ws.tailMu.RLock()
+	tm, ok := ws.tail[id]
+	ws.tailMu.RUnlock()
+	if !ok {
+		if id <= ws.baseMax.Load() {
+			return ws.base.LoadRegion(id, r)
+		}
+		return nil, fmt.Errorf("store: mask id %d out of range [1, %d]", id, ws.nextIDSnapshot()-1)
+	}
+	r = r.Intersect(core.Rect{X0: 0, Y0: 0, X1: ws.w, Y1: ws.h})
+	if r.Empty() {
+		return core.NewByteMask(0, 0), nil
+	}
+	out := core.NewByteMask(r.W(), r.H())
+	for y := r.Y0; y < r.Y1; y++ {
+		copy(out.Bytes[(y-r.Y0)*r.W():(y-r.Y0+1)*r.W()], tm.pix[y*ws.w+r.X0:y*ws.w+r.X1])
+	}
+	ws.tailLoads.Add(1)
+	ws.tailLoadsLife.Add(1)
+	return out, nil
+}
+
+// ReleaseMask hands the mask to the base store, whose pool accepts any
+// buffer of the right dimensions — including tail copies.
+func (ws *WALStore) ReleaseMask(m *core.Mask) { ws.base.ReleaseMask(m) }
+
+// nextIDSnapshot reads nextID without the ingest lock (error paths
+// only; the value is advisory).
+func (ws *WALStore) nextIDSnapshot() int64 {
+	ws.tailMu.RLock()
+	defer ws.tailMu.RUnlock()
+	return ws.baseMax.Load() + int64(len(ws.tail)) + 1
+}
+
+// NumMasks returns the stored mask count: base plus durable tail. The
+// catalog is its authoritative mirror.
+func (ws *WALStore) NumMasks() int { return ws.cat.Len() }
+
+// MaskW and MaskH return the common mask dimensions.
+func (ws *WALStore) MaskW() int { return ws.w }
+func (ws *WALStore) MaskH() int { return ws.h }
+
+// DataBytes returns the total stored pixel bytes, tail included.
+func (ws *WALStore) DataBytes() int64 {
+	return int64(ws.NumMasks()) * int64(ws.w) * int64(ws.h)
+}
+
+// Dir returns the database directory.
+func (ws *WALStore) Dir() string { return ws.dir }
+
+// MaskLocation reports where a mask currently lives: "base" for ids in
+// the compacted layout, "wal:<segment file>" for WAL-resident ids, ""
+// for unknown ids. msinspect surfaces it as row provenance.
+func (ws *WALStore) MaskLocation(id int64) string {
+	if id >= 1 && id <= ws.baseMax.Load() {
+		return "base"
+	}
+	ws.tailMu.RLock()
+	tm, ok := ws.tail[id]
+	ws.tailMu.RUnlock()
+	if ok {
+		return "wal:" + tm.seg
+	}
+	if id >= 1 && id <= ws.baseMax.Load() {
+		return "base"
+	}
+	return ""
+}
+
+// Close seals the WAL and closes the base store. In-flight appends
+// must have drained (the DB facade's close path guarantees it).
+func (ws *WALStore) Close() error {
+	ws.mu.Lock()
+	if ws.closed {
+		ws.mu.Unlock()
+		return nil
+	}
+	ws.closed = true
+	ws.sealActiveLocked()
+	ws.mu.Unlock()
+	return ws.base.Close()
+}
+
+// SetCacheBytes, CacheBytes and SetThrottle delegate to the base
+// store; the tail is always RAM-resident and needs no cache.
+func (ws *WALStore) SetCacheBytes(n int64) { ws.base.SetCacheBytes(n) }
+func (ws *WALStore) CacheBytes() int64     { return ws.base.CacheBytes() }
+func (ws *WALStore) SetThrottle(t Throttle) {
+	ws.base.SetThrottle(t)
+}
+
+// ResetStats zeroes the resettable counters, tail loads included.
+func (ws *WALStore) ResetStats() {
+	ws.base.ResetStats()
+	ws.tailLoads.Store(0)
+}
+
+// Stats returns the read counters since the last reset, with tail
+// loads folded in.
+func (ws *WALStore) Stats() ReadStats {
+	s := ws.base.Stats()
+	s.TailLoads = ws.tailLoads.Load()
+	return s
+}
+
+// LifetimeStats returns the never-reset counters.
+func (ws *WALStore) LifetimeStats() ReadStats {
+	s := ws.base.LifetimeStats()
+	s.TailLoads = ws.tailLoadsLife.Load()
+	return s
+}
+
+// IngestStats returns the ingestion counters.
+func (ws *WALStore) IngestStats() IngestStats {
+	st := IngestStats{
+		AppendedMasks:   ws.appendedMasks.Load(),
+		AppendedBatches: ws.appendedBatches.Load(),
+		AppendedBytes:   ws.appendedBytes.Load(),
+		ReplayedMasks:   ws.replayedMasks.Load(),
+		TornTruncations: ws.tornTruncations.Load(),
+		Compactions:     ws.compactions.Load(),
+		CompactedMasks:  ws.compactedMasks.Load(),
+	}
+	ws.tailMu.RLock()
+	st.TailMasks = len(ws.tail)
+	ws.tailMu.RUnlock()
+	ws.mu.Lock()
+	for _, seg := range ws.sealed {
+		st.WALSegments++
+		st.WALBytes += seg.bytes
+	}
+	if ws.active != nil {
+		st.WALSegments++
+		st.WALBytes += ws.active.committedOff
+	}
+	ws.mu.Unlock()
+	return st
+}
+
+// writeJSONSync writes v as indented JSON through fsys with the
+// fsync-then-rename discipline (writeFileSync); the caller syncs the
+// parent directory at its commit point.
+func writeJSONSync(fsys FS, path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileSync(fsys, path, append(b, '\n'))
+}

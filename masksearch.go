@@ -39,6 +39,10 @@ type CatalogEntry = store.Entry
 // mask cache's hit/miss/evicted counters (see Options.CacheBytes).
 type ReadStats = store.ReadStats
 
+// IngestStats is the online ingestion path's accounting: acknowledged
+// appends, WAL replay and footprint, compactions (see DB.Append).
+type IngestStats = store.IngestStats
+
 // Scored is one ranked query result.
 type Scored = core.Scored
 

@@ -552,12 +552,17 @@ func (db *DB) execBatch(ctx context.Context, env *core.Env, plans []*plan, qo qu
 	nConsidered := make([]int, len(plans))
 	done := make([]bool, len(plans))
 
+	// One catalog snapshot for the whole batch: every statement resolves
+	// its targets against the same pinned id space, so concurrent
+	// Appends never make two statements of one batch see different
+	// datasets.
+	view := db.cat.View()
 	var fq []core.BatchQuery
 	var fqPlan []int
 	var limited []int
 	for pi, p := range plans {
 		results[pi] = &Result{Kind: p.kind}
-		targets[pi] = db.cat.MaskIDs(p.keep)
+		targets[pi] = view.MaskIDs(p.keep)
 		nConsidered[pi] = len(targets[pi])
 		if p.k == 0 {
 			// LIMIT 0 is a valid, empty query — don't touch any mask.
@@ -644,7 +649,7 @@ func (db *DB) execBatch(ctx context.Context, env *core.Env, plans []*plan, qo qu
 			})
 		case planAgg:
 			rq = append(rq, core.BatchQuery{
-				Kind: core.BatchAgg, Groups: db.groupTargets(p, targets[pi]),
+				Kind: core.BatchAgg, Groups: groupTargets(view, p, targets[pi]),
 				Terms: p.scoreTerms, Score: 0, Agg: p.agg, K: p.k, Order: p.order,
 			})
 		default:
