@@ -13,6 +13,7 @@
 //	msbench -data data -exp shard
 //	msbench -data data -exp prepare
 //	msbench -data data -exp serve
+//	msbench -data data -exp compress
 //
 // Experiments: fig7 (incl. Table 2), fig8, fig9, fig10, fig11 (incl.
 // the ratio subfigures), size, ablation, sweep, engine (sequential vs
@@ -24,7 +25,10 @@
 // latency, amortization and identical results asserted; always
 // writes BENCH_prepare.json), serve (concurrent HTTP clients against
 // an in-process msserve, byte-identical results, plan-cache hits and
-// the admission bound asserted; always writes BENCH_serve.json), all.
+// the admission bound asserted; always writes BENCH_serve.json),
+// compress (raw vs run-length-encoded storage: footprint, index
+// build, load latency and the query families, byte-identical results
+// asserted across codecs; always writes BENCH_compress.json), all.
 //
 // -workers sizes the engine worker pool for the figure experiments
 // (default 1, the sequential engine, so their masks-loaded/FML tables
@@ -58,7 +62,7 @@ func main() {
 
 	var (
 		dataDir = flag.String("data", "data", "directory for generated datasets")
-		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|prepare|serve|all")
+		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|prepare|serve|compress|all")
 		dataset = flag.String("dataset", "both", "dataset: wilds-sim|imagenet-sim|both")
 		queries = flag.Int("queries", 0, "override query count for fig8/fig9/ablation/sweep")
 		wqs     = flag.Int("workload-queries", 0, "override workload length for fig11")
@@ -69,7 +73,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "prepare", "serve", "all"}
+	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "prepare", "serve", "compress", "all"}
 	if !slices.Contains(validExps, *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(validExps, ", "))
 		os.Exit(2)
@@ -120,6 +124,7 @@ func main() {
 	var shardRows []bench.ShardRow
 	var prepRows []bench.PrepareRow
 	var serveRows []bench.ServeRow
+	var compRows []bench.CompressRow
 	run := func(name string, f func(d *bench.DatasetEnv) (fmt.Stringer, error)) {
 		for _, d := range envs {
 			log.Printf("running %s on %s", name, d.Params.Name)
@@ -144,6 +149,8 @@ func main() {
 				prepRows = append(prepRows, er.Rows...)
 			case *bench.ServeReport:
 				serveRows = append(serveRows, er.Rows...)
+			case *bench.CompressReport:
+				compRows = append(compRows, er.Rows...)
 			default:
 				rows = append(rows, bench.EngineRow{
 					Exp: name, Dataset: d.Params.Name, Mode: "report", Queries: 1,
@@ -228,6 +235,11 @@ func main() {
 			return bench.Serve(ctx, d, max(1, cfg.NQueries/10), cfg.Seed)
 		})
 	}
+	if want("compress") {
+		run("compress", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Compress(ctx, d, *dataDir, max(1, cfg.NQueries/5), cfg.Seed)
+		})
+	}
 	if len(mqRows) > 0 {
 		writeJSON("BENCH_multiquery.json", *workers, mqRows)
 	}
@@ -239,6 +251,9 @@ func main() {
 	}
 	if len(serveRows) > 0 {
 		writeJSON("BENCH_serve.json", *workers, serveRows)
+	}
+	if len(compRows) > 0 {
+		writeJSON("BENCH_compress.json", *workers, compRows)
 	}
 	if *jsonOut {
 		writeJSON("BENCH_engine.json", *workers, rows)

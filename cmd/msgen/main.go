@@ -5,6 +5,7 @@
 //	msgen -out data/wilds-sim -preset wilds-sim
 //	msgen -out /tmp/db -images 500 -models 2 -size 96 -seed 7
 //	msgen -out /tmp/db -preset wilds-sim -shards 4
+//	msgen -out /tmp/db -preset wilds-sim -codec rle
 //
 // Presets reproduce the scaled stand-ins for the paper's datasets:
 // "wilds-sim" (1,500 images, 128x128 masks), "imagenet-sim" (6,000
@@ -12,6 +13,9 @@
 // override preset fields. -shards S splits the store into S
 // shard-NNN/ segments (same logical dataset, per-shard files, cache
 // arenas and stats); queries open either layout transparently.
+// -codec rle stores masks run-length encoded (masks.rle + offset
+// index); queries detect the codec from the manifest and run their
+// kernels directly on the compressed runs, with identical results.
 package main
 
 import (
@@ -36,6 +40,7 @@ func main() {
 		seed   = flag.Int64("seed", 0, "override: master seed")
 		human  = flag.Bool("human-attention", false, "add one human attention map per image")
 		shards = flag.Int("shards", 1, "split the store into this many shard segments (1 = classic single-file layout)")
+		codec  = flag.String("codec", "raw", "mask storage codec: raw | rle (run-length encoded, kernels compute on the compressed form)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -70,13 +75,23 @@ func main() {
 		spec.HumanAttention = true
 	}
 
-	if err := masksearch.GenerateShardedDataset(*out, spec, *shards); err != nil {
+	var codecName string
+	switch *codec {
+	case "raw":
+		codecName = masksearch.CodecRaw
+	case "rle":
+		codecName = masksearch.CodecRLE
+	default:
+		log.Fatalf("unknown codec %q (want raw or rle)", *codec)
+	}
+
+	if err := masksearch.GenerateShardedDatasetCodec(*out, spec, *shards, codecName); err != nil {
 		log.Fatal(err)
 	}
 	layout := "1 segment"
 	if *shards > 1 {
 		layout = fmt.Sprintf("%d shards", *shards)
 	}
-	fmt.Printf("generated %s: %d images, %d masks of %dx%d in %s (%s)\n",
-		spec.Name, spec.Images, spec.NumMasks(), spec.W, spec.H, *out, layout)
+	fmt.Printf("generated %s: %d images, %d masks of %dx%d in %s (%s, codec %s)\n",
+		spec.Name, spec.Images, spec.NumMasks(), spec.W, spec.H, *out, layout, *codec)
 }

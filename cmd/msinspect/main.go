@@ -122,6 +122,15 @@ func summarize(db *masksearch.DB) {
 	if s := db.Shards(); s > 1 {
 		fmt.Printf("storage: %d shards\n", s)
 	}
+	if c := db.Codec(); c != "" {
+		stored := db.StoredBytes()
+		logical := db.Stats().Index.DataBytes
+		line := fmt.Sprintf("codec: %s (%.1f MB stored", c, float64(stored)/1e6)
+		if stored > 0 {
+			line += fmt.Sprintf(", %.2fx compression", float64(logical)/float64(stored))
+		}
+		fmt.Println(line + ")")
+	}
 	images := map[int64]bool{}
 	models := map[int]int{}
 	types := map[int]int{}
@@ -160,6 +169,9 @@ func inspectMask(db *masksearch.DB, id int64, lo, hi float64, renderW int) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Inspection reads every pixel several times (histogram, rendering);
+	// decode an RLE-backed mask once instead of run-walking per access.
+	m = m.Decoded()
 	fmt.Printf("mask %d: image %d, model %d, type %d, %dx%d\n", e.MaskID, e.ImageID, e.ModelID, e.MaskType, m.W, m.H)
 	fmt.Printf("label %d, predicted %d, modified %v\n", e.Label, e.Pred, e.Modified)
 	fmt.Printf("object box: %v\n", e.Object)

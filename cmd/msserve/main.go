@@ -63,6 +63,7 @@ func main() {
 		sessionTTL = flag.Duration("session-ttl", 15*time.Minute, "idle session expiry")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		compactEv  = flag.Duration("compact-every", 0, "fold the WAL into the base layout on this interval (0 = only on POST /compact)")
+		indexEvery = flag.Int("index-every", 0, "checkpoint the CHI index to disk every N acknowledged ingest batches (0 = only at compact/shutdown)")
 	)
 	flag.Parse()
 	if *dbDir == "" {
@@ -87,6 +88,7 @@ func main() {
 		QueueWait:      *queueWait,
 		RequestTimeout: *timeout,
 		SessionTTL:     *sessionTTL,
+		IndexEvery:     *indexEvery,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

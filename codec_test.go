@@ -1,0 +1,257 @@
+package masksearch
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"masksearch/internal/store"
+)
+
+// TestCodecQueryEquivalence is the compressed-storage acceptance
+// property: every plan kind, under every worker count, over the RLE
+// layout (single-segment and sharded) returns results identical to the
+// same dataset stored raw — the codec changes bytes on disk and which
+// kernel variant runs, never a result. It reuses shardEquivQueries,
+// which covers every plan kind the facade compiles.
+func TestCodecQueryEquivalence(t *testing.T) {
+	spec := TinyDataset()
+	ctx := context.Background()
+
+	rawDir := t.TempDir()
+	if err := GenerateDatasetCodec(rawDir, spec, CodecRaw); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := OpenWith(rawDir, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if ref.Codec() != CodecRaw {
+		t.Fatalf("raw dataset Codec() = %q, want %q", ref.Codec(), CodecRaw)
+	}
+	want := make([]*Result, len(shardEquivQueries))
+	for i, q := range shardEquivQueries {
+		if want[i], err = ref.Query(ctx, q); err != nil {
+			t.Fatalf("reference query %d: %v", i, err)
+		}
+	}
+
+	layouts := []struct {
+		name   string
+		shards int
+	}{{"single", 1}, {"sharded", 3}}
+	for _, l := range layouts {
+		dir := t.TempDir()
+		if err := GenerateShardedDatasetCodec(dir, spec, l.shards, CodecRLE); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			db, err := OpenWith(dir, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.Codec() != CodecRLE {
+				t.Fatalf("%s rle: Codec() = %q, want %q", l.name, db.Codec(), CodecRLE)
+			}
+			st := db.Stats()
+			if st.Codec != CodecRLE {
+				t.Fatalf("%s rle: Stats().Codec = %q, want %q", l.name, st.Codec, CodecRLE)
+			}
+			if st.StoredBytes <= 0 || st.StoredBytes >= st.Index.DataBytes {
+				t.Fatalf("%s rle: StoredBytes %d not in (0, %d)", l.name, st.StoredBytes, st.Index.DataBytes)
+			}
+			for i, q := range shardEquivQueries {
+				got, err := db.Query(ctx, q)
+				if err != nil {
+					t.Fatalf("%s rle workers=%d query %d: %v", l.name, workers, i, err)
+				}
+				if got.Kind != want[i].Kind || !reflect.DeepEqual(got.IDs, want[i].IDs) ||
+					!reflect.DeepEqual(got.Ranked, want[i].Ranked) {
+					t.Fatalf("%s rle workers=%d query %d diverged from raw:\ngot  %+v\nwant %+v",
+						l.name, workers, i, got, want[i])
+				}
+			}
+			// The whole set again as one batch (the shared-load path).
+			batch, err := db.QueryBatch(ctx, shardEquivQueries)
+			if err != nil {
+				t.Fatalf("%s rle workers=%d batch: %v", l.name, workers, err)
+			}
+			for i, got := range batch {
+				if got.Kind != want[i].Kind || !reflect.DeepEqual(got.IDs, want[i].IDs) ||
+					!reflect.DeepEqual(got.Ranked, want[i].Ranked) {
+					t.Fatalf("%s rle workers=%d batch query %d diverged:\ngot  %+v\nwant %+v",
+						l.name, workers, i, got, want[i])
+				}
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestExplainReportsStorage pins that EXPLAIN names the compressed
+// layout — and stays silent on the raw one, so the existing golden
+// outputs hold.
+func TestExplainReportsStorage(t *testing.T) {
+	spec := TinyDataset()
+	const q = `SELECT mask_id FROM masks WHERE CP(mask, object, 0.8, 1.0) > 20`
+
+	rawDir, rleDir := t.TempDir(), t.TempDir()
+	if err := GenerateDataset(rawDir, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateDatasetCodec(rleDir, spec, CodecRLE); err != nil {
+		t.Fatal(err)
+	}
+
+	rawDB, err := Open(rawDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rawDB.Close()
+	plan, err := rawDB.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "storage:") {
+		t.Fatalf("raw EXPLAIN mentions storage:\n%s", plan)
+	}
+
+	rleDB, err := Open(rleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rleDB.Close()
+	plan, err = rleDB.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "storage: rle (compute-on-compressed)") {
+		t.Fatalf("rle EXPLAIN missing storage line:\n%s", plan)
+	}
+}
+
+// TestCompactCheckpointsIndex is the chi.gob-on-crash regression: the
+// index used to persist only on a clean Close, so a crash after hours
+// of ingestion rebuilt every CHI from scratch. Now Compact checkpoints
+// the index through the atomic rename path; after a fault-injected
+// crash the reopened database must load the checkpointed CHIs instead
+// of starting empty.
+func TestCompactCheckpointsIndex(t *testing.T) {
+	spec := DatasetSpec{Name: "ckpt", Images: 6, Models: 1, W: 16, H: 16, Seed: 11}
+	dir := t.TempDir()
+	if err := GenerateDataset(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	batch := func(n int, seed byte) []AppendMask {
+		out := make([]AppendMask, n)
+		for i := range out {
+			pix := make([]byte, spec.W*spec.H)
+			for j := range pix {
+				pix[j] = seed + byte(i) + byte(j%7)
+			}
+			out[i] = AppendMask{
+				ImageID: int64(9000 + int(seed) + i), ModelID: 1,
+				Object: Rect{X0: 1, Y0: 1, X1: spec.W - 1, Y1: spec.H - 1},
+				Pixels: pix,
+			}
+		}
+		return out
+	}
+
+	ctx := context.Background()
+	ff := store.NewFaultFS(store.KeepAll)
+	db, err := openWith(dir, Options{PersistIndexOnClose: true}, ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(ctx, batch(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := db.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 3 {
+		t.Fatalf("compacted %d masks, want 3", moved)
+	}
+	// The compaction must have checkpointed the index durably.
+	if _, err := os.Stat(filepath.Join(dir, store.IndexFileName)); err != nil {
+		t.Fatalf("no %s after Compact: %v", store.IndexFileName, err)
+	}
+	// More appends after the checkpoint: indexed in memory, acknowledged
+	// in the WAL, but their CHIs never persisted.
+	if _, err := db.Append(ctx, batch(2, 60)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: every later filesystem operation fails; the database is
+	// abandoned without Close (which would persist the index cleanly
+	// and mask the bug this test pins).
+	ff.Crash()
+
+	re, err := OpenWith(dir, Options{PersistIndexOnClose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Immediately after a lazy open, the only indexed masks are those
+	// loaded from the checkpointed chi.gob (the 3 compacted appends)
+	// plus the WAL-replayed tail (2 masks) — the generated masks were
+	// never queried, so nothing else can be in the index. Without the
+	// Compact checkpoint there is no chi.gob at all and only the 2
+	// replayed masks would be indexed.
+	st, err := re.IndexStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndexedMasks != 5 {
+		t.Fatalf("reopened index has %d masks, want 5 (3 checkpointed + 2 replayed)", st.IndexedMasks)
+	}
+	// The recovered database still answers queries over all masks.
+	res, err := re.Query(ctx, `SELECT mask_id FROM masks WHERE CP(mask, full, 0.0, 1.0) >= 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != spec.NumMasks()+5 {
+		t.Fatalf("recovered query returned %d masks, want %d", len(res.IDs), spec.NumMasks()+5)
+	}
+}
+
+// TestCheckpointIndexExplicit covers the public entry point: dirty →
+// persist → clean no-op.
+func TestCheckpointIndexExplicit(t *testing.T) {
+	spec := DatasetSpec{Name: "ckpt2", Images: 4, Models: 1, W: 16, H: 16, Seed: 3}
+	dir := t.TempDir()
+	if err := GenerateDataset(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenWith(dir, Options{EagerIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	gob := filepath.Join(dir, store.IndexFileName)
+	if _, err := os.Stat(gob); err == nil {
+		t.Fatal("chi.gob exists before any checkpoint")
+	}
+	if err := db.CheckpointIndex(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(gob)
+	if err != nil {
+		t.Fatalf("no chi.gob after CheckpointIndex: %v", err)
+	}
+	// A second checkpoint with nothing new must not rewrite the file.
+	mt := fi.ModTime()
+	if err := db.CheckpointIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if fi2, err := os.Stat(gob); err != nil || !fi2.ModTime().Equal(mt) {
+		t.Fatalf("clean CheckpointIndex rewrote chi.gob (err %v)", err)
+	}
+}

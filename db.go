@@ -124,6 +124,10 @@ type DB struct {
 
 	dirty atomic.Bool // index changed since open
 
+	// ckptmu serializes index checkpoints so two concurrent
+	// CheckpointIndex calls never interleave temp-file publishes.
+	ckptmu sync.Mutex
+
 	// closemu serializes Close against in-flight operations: every
 	// store-touching entry point holds the read side for its whole
 	// execution, and Close takes the write side — so it blocks until
@@ -304,6 +308,44 @@ func (db *DB) persistIndex() error {
 	return store.SyncDir(db.dir)
 }
 
+// CheckpointIndex durably persists the CHI index to <db>/chi.gob now,
+// without waiting for Close — the same atomic temp-file + rename +
+// directory-fsync path Close uses. It is a no-op when the index has
+// not changed since the last persist. Before this existed the index
+// survived only a clean Close: a crash after hours of ingestion
+// rebuilt every CHI from scratch on the next open. Compact checkpoints
+// automatically (when Options.PersistIndexOnClose is set), and msserve
+// exposes an every-N-batches knob; call this directly for any other
+// durability point. Safe to run concurrently with queries and appends.
+func (db *DB) CheckpointIndex() error {
+	if err := db.beginOp(); err != nil {
+		return err
+	}
+	defer db.endOp()
+	return db.checkpointIndex()
+}
+
+// checkpointIndex is CheckpointIndex without the open-state admission,
+// for callers already inside beginOp (Compact). Must not be called
+// from Close's path: Close holds the closemu write lock and calls
+// persistIndex directly.
+func (db *DB) checkpointIndex() error {
+	db.ckptmu.Lock()
+	defer db.ckptmu.Unlock()
+	if !db.dirty.Load() {
+		return nil
+	}
+	// Clear the flag before encoding: an Observe racing the encode
+	// re-dirties it and the next checkpoint picks that mask up. The
+	// opposite order would clear a dirtying we never persisted.
+	db.dirty.Store(false)
+	if err := db.persistIndex(); err != nil {
+		db.dirty.Store(true)
+		return err
+	}
+	return nil
+}
+
 // env wires the query engine to this DB's store and index, growing
 // the index from every verified mask.
 func (db *DB) env(ex core.Exec) *core.Env {
@@ -382,6 +424,17 @@ func (db *DB) MaskDims() (w, h int) { return db.st.MaskW(), db.st.MaskH() }
 // a sharded database these are the per-shard counters aggregated.
 func (db *DB) ReadStats() ReadStats { return db.st.Stats() }
 
+// Codec reports the storage codec of the base mask layout: CodecRaw
+// ("") for plain bytes, CodecRLE ("rle") for the run-length-encoded
+// layout. Query results are byte-identical across codecs; the codec
+// only changes the on-disk format and which kernel variant runs.
+func (db *DB) Codec() string { return db.st.Codec() }
+
+// StoredBytes reports the on-disk size of the mask payload (the
+// compressed size under a non-raw codec; WAL-tail masks are counted by
+// the ingestion stats, not here).
+func (db *DB) StoredBytes() int64 { return db.st.StoredBytes() }
+
 // Shards reports how many storage shards back this database (1 for a
 // single-segment layout). On a sharded database with WAL compaction,
 // the count grows as each compaction adds a shard.
@@ -421,6 +474,13 @@ type DBStats struct {
 	// Ingest is the online ingestion path's counters: appended and
 	// replayed masks, WAL footprint, compactions.
 	Ingest IngestStats
+	// Codec is the base layout's storage codec ("" = raw bytes,
+	// "rle" = run-length encoded).
+	Codec string
+	// StoredBytes is the on-disk mask payload size; with a compressed
+	// codec it is smaller than Index.DataBytes (the logical size), and
+	// the ratio DataBytes/StoredBytes is the compression factor.
+	StoredBytes int64
 }
 
 // Stats returns one coherent observability snapshot of the DB. The
@@ -428,11 +488,13 @@ type DBStats struct {
 // treat cross-field arithmetic as approximate under concurrent load.
 func (db *DB) Stats() DBStats {
 	s := DBStats{
-		Reads:      db.st.Stats(),
-		ShardReads: db.ShardReadStats(),
-		Shards:     db.Shards(),
-		PlanCache:  db.plans.stats(),
-		Ingest:     db.ws.IngestStats(),
+		Reads:       db.st.Stats(),
+		ShardReads:  db.ShardReadStats(),
+		Shards:      db.Shards(),
+		PlanCache:   db.plans.stats(),
+		Ingest:      db.ws.IngestStats(),
+		Codec:       db.st.Codec(),
+		StoredBytes: db.st.StoredBytes(),
 	}
 	s.Index, _ = db.IndexStats()
 	return s
@@ -504,7 +566,20 @@ func (db *DB) Compact(ctx context.Context) (int, error) {
 		return 0, err
 	}
 	defer db.endOp()
-	return db.ws.Compact(ctx)
+	n, err := db.ws.Compact(ctx)
+	if err != nil {
+		return n, err
+	}
+	// Compaction is the natural durability point of the ingestion
+	// path: the masks just became part of the base layout, so persist
+	// their CHIs too. Otherwise a crash after Compact rebuilds the
+	// whole index even though the data survived.
+	if n > 0 && db.opts.PersistIndexOnClose {
+		if err := db.checkpointIndex(); err != nil {
+			return n, fmt.Errorf("masksearch: compact succeeded but index checkpoint failed: %w", err)
+		}
+	}
+	return n, nil
 }
 
 // MaskLocation reports where a mask currently lives: "base" for the

@@ -71,7 +71,10 @@ func (c Config) SetupImagenet() (*DatasetEnv, error) { return c.setup(c.Imagenet
 func (c Config) setup(spec store.Spec) (*DatasetEnv, error) {
 	dir := filepath.Join(c.Dir, spec.Name)
 	man, err := store.LoadManifest(dir)
-	if err != nil || !sameSpec(man.Spec, spec) {
+	// Regenerate on any mismatch: a changed spec, a dataset produced by
+	// an older generator (GenVersion — pixel content changed), or a
+	// non-raw codec left behind by another experiment.
+	if err != nil || !sameSpec(man.Spec, spec) || man.GenVersion != store.GenVersion || man.Codec != store.CodecRaw {
 		if err := store.Generate(dir, spec); err != nil {
 			return nil, fmt.Errorf("bench: generate %s: %w", spec.Name, err)
 		}

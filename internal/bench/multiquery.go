@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"masksearch/internal/core"
@@ -26,6 +27,7 @@ type MultiQueryRow struct {
 	CacheHits    int64  `json:"cache_hits"`
 	CacheMisses  int64  `json:"cache_misses"`
 	CacheEvicted int64  `json:"cache_evicted"`
+	TailLoads    int64  `json:"tail_loads,omitempty"`
 	Identical    bool   `json:"identical"`
 }
 
@@ -174,5 +176,135 @@ func MultiQuery(ctx context.Context, d *DatasetEnv, n int, seed int64) (*MultiQu
 	}
 	rep.Printf("load sharing: independent/batch = %.2fx, warm batch serves %d verifications from cache\n",
 		float64(independent.MasksLoaded)/float64(max(1, batch.MasksLoaded)), warm.CacheHits)
+
+	if err := walTailPhase(ctx, d, rep, n, seed); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// walTailPhase reruns the batched workload against a live WAL tail:
+// a copy of the dataset plus one appended-but-not-compacted batch,
+// compared against an identical copy whose batch has been compacted
+// into the base layout. Results must be byte-identical — the tail is
+// storage state, not query semantics — and the tail run must actually
+// serve masks from the WAL (TailLoads > 0). Before this phase existed
+// every msbench experiment ran against fully compacted storage, so a
+// regression in the tail read path was invisible to the benchmarks.
+func walTailPhase(ctx context.Context, d *DatasetEnv, rep *MultiQueryReport, n int, seed int64) error {
+	w, h := d.Params.W, d.Params.H
+	type copyEnv struct {
+		mode string
+		st   *store.WALStore
+		cat  *store.Catalog
+	}
+	var copies []*copyEnv
+	for _, mode := range []string{"wal-tail", "wal-compacted"} {
+		dir, err := os.MkdirTemp("", "msbench-wal-tail-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if err := store.Generate(dir, d.Params); err != nil {
+			return fmt.Errorf("bench: wal-tail generate: %w", err)
+		}
+		st, cat, err := store.OpenIngest(store.DirFS(), dir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		copies = append(copies, &copyEnv{mode: mode, st: st, cat: cat})
+	}
+
+	// The same appended batch for both copies (deterministic pixels).
+	rng := rand.New(rand.NewSource(seed + 77))
+	batch := make([]store.IngestMask, 8)
+	for i := range batch {
+		pix := make([]byte, w*h)
+		for j := range pix {
+			pix[j] = byte(rng.Intn(256))
+		}
+		batch[i] = store.IngestMask{
+			Entry: store.Entry{ImageID: int64(10_000 + i), Object: core.Rect{X1: w, Y1: h}},
+			Pix:   pix,
+		}
+	}
+	var newIDs []int64
+	for _, c := range copies {
+		ids, err := c.st.Append(ctx, batch)
+		if err != nil {
+			return fmt.Errorf("bench: wal-tail append (%s): %w", c.mode, err)
+		}
+		if newIDs == nil {
+			newIDs = ids
+		} else if !equalIDs(ids, newIDs) {
+			return fmt.Errorf("bench: wal-tail: copies assigned different ids")
+		}
+	}
+	if moved, err := copies[1].st.Compact(ctx); err != nil {
+		return err
+	} else if moved != len(batch) {
+		return fmt.Errorf("bench: wal-tail compacted %d masks, want %d", moved, len(batch))
+	}
+
+	// The workload: the usual §4.5 batch over the grown catalog, plus
+	// one filter pinned to the appended ids so the tail is provably
+	// read regardless of where the random targets land.
+	queries := workload.MultiQuery(rand.New(rand.NewSource(seed)), copies[0].cat, w, h, n, 0.5)
+	bqs := batchFilterPlan(queries, copies[0].cat)
+	bqs = append(bqs, core.BatchQuery{
+		Kind:    core.BatchFilter,
+		Targets: newIDs,
+		Terms: []core.CPTerm{{
+			Name:   "CP(mask, full, 0.5, 1)",
+			Region: core.FixedRegion(core.Rect{X1: w, Y1: h}),
+			Range:  core.ValueRange{Lo: 0.5, Hi: 1},
+		}},
+		Pred: core.Cmp{T: 0, Op: core.OpGe, C: 1},
+	})
+
+	cfg, err := d.SmallConfig().Normalize()
+	if err != nil {
+		return err
+	}
+	var ref [][]int64
+	var tailStats [2]store.ReadStats
+	for i, c := range copies {
+		// A fresh, empty index per copy: every target is undecided, so
+		// each one is loaded from wherever it lives — base or tail.
+		env := &core.Env{Loader: c.st, Index: core.NewMemoryIndex(cfg), Exec: d.Exec}
+		c.st.ResetStats()
+		start := time.Now()
+		outs, err := execBatchIDs(ctx, env, bqs)
+		if err != nil {
+			return fmt.Errorf("bench: wal-tail %s: %w", c.mode, err)
+		}
+		el := time.Since(start)
+		rs := c.st.Stats()
+		tailStats[i] = rs
+		identical := true
+		if ref == nil {
+			ref = outs
+		} else {
+			for j := range outs {
+				if !equalIDs(outs[j], ref[j]) {
+					return fmt.Errorf("bench: wal-tail %s: query %d diverges from the tail run — WAL residency must not change results", c.mode, j)
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, MultiQueryRow{
+			Exp: "multiquery/wal-tail", Dataset: d.Params.Name, Mode: c.mode, Queries: len(bqs),
+			NsTotal: el.Nanoseconds(), MasksLoaded: rs.MasksLoaded, BytesRead: rs.BytesRead,
+			TailLoads: rs.TailLoads, Identical: identical,
+		})
+		rep.Printf("%-14s %12s %10d %12d tail loads %d\n",
+			c.mode, el.Round(time.Microsecond), rs.MasksLoaded, rs.BytesRead, rs.TailLoads)
+	}
+	if tailStats[0].TailLoads == 0 {
+		return fmt.Errorf("bench: wal-tail phase loaded 0 masks from the WAL tail — the live-tail path was not exercised")
+	}
+	if tailStats[1].TailLoads != 0 {
+		return fmt.Errorf("bench: compacted copy reported %d tail loads, want 0", tailStats[1].TailLoads)
+	}
+	return nil
 }

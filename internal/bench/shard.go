@@ -75,7 +75,7 @@ func Shard(ctx context.Context, d *DatasetEnv, dataDir string, thr store.Throttl
 	for _, s := range []int{2, 4} {
 		dir := filepath.Join(dataDir, fmt.Sprintf("%s-s%d", d.Params.Name, s))
 		man, err := store.LoadManifest(dir)
-		if err != nil || !sameSpec(man.Spec, d.Params) || len(man.Shards) != s {
+		if err != nil || !sameSpec(man.Spec, d.Params) || len(man.Shards) != s || man.GenVersion != store.GenVersion {
 			if err := store.GenerateSharded(dir, d.Params, s); err != nil {
 				return nil, fmt.Errorf("bench: generate %d-shard %s: %w", s, d.Params.Name, err)
 			}

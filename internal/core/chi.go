@@ -102,7 +102,16 @@ func Build(m *Mask, cfg Config) (*CHI, error) {
 		Cum:   make([]int32, gw*gh*k),
 	}
 	// First accumulate per-bin counts, then suffix-sum each cell.
-	if m.Bytes != nil {
+	if m.Bytes == nil && m.RLE != nil {
+		// Compressed fast path: the same 256-entry LUT as the byte path
+		// below, but whole repeat runs fold through it in one update per
+		// cell they touch — no pixel materialization.
+		var lut [256]int32
+		for b := range lut {
+			lut[b] = int32(binIndex(cfg.Edges, byteVal(b)))
+		}
+		accumRLEHistogram(c.Cum, m.RLE, m.W, m.H, cfg.CellW, cfg.CellH, gw, k, &lut)
+	} else if m.Bytes != nil {
 		// Byte-domain fast path: pixels are quantized to 256 levels, so
 		// one 256-entry value→bin LUT replaces the per-pixel binary
 		// search, and walking each row cell-run by cell-run hoists the

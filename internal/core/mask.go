@@ -112,21 +112,27 @@ func (vr ValueRange) String() string {
 }
 
 // Mask is a dense 2-D array of pixel values in [0, 1], row-major.
-// It has two interchangeable backings:
+// It has three interchangeable backings:
 //
-//   - Pix, float32 values, the general representation; and
-//   - Bytes, raw uint8 pixels as stored on disk (value = b/255).
+//   - Pix, float32 values, the general representation;
+//   - Bytes, raw uint8 pixels as stored on disk (value = b/255); and
+//   - RLE, the run-length-encoded byte stream of the compressed
+//     layout (see EncodeRLE), still in the uint8 pixel domain.
 //
 // When Bytes is non-nil it is authoritative and the kernels run in
 // the byte domain (SWAR counting over quantized thresholds, no float
-// conversion); Pix may then be nil. Masks loaded from a store are
-// byte-backed; masks built in memory via NewMask are float-backed.
+// conversion); Pix may then be nil. When only RLE is non-nil the hot
+// kernels (ExactCP, CHI Build) iterate the runs directly without
+// materializing pixels; everything else decodes first via Decoded.
+// Masks loaded from a store are byte- or RLE-backed depending on the
+// store's codec; masks built in memory via NewMask are float-backed.
 // Consumers should read pixels through At, ExactCP or ToFloat rather
 // than ranging over Pix directly, which is nil on byte-backed masks.
 type Mask struct {
 	W, H  int
 	Pix   []float32
 	Bytes []uint8
+	RLE   []byte
 }
 
 // NewMask allocates a zero float-backed mask of the given dimensions.
@@ -141,11 +147,53 @@ func NewByteMask(w, h int) *Mask {
 }
 
 // At returns the value at pixel (x, y). The caller must stay in bounds.
+// On an RLE-only mask this walks the row's runs — O(runs) per call —
+// so loops over many pixels should go through Decoded instead.
 func (m *Mask) At(x, y int) float32 {
 	if m.Bytes != nil {
 		return float32(m.Bytes[y*m.W+x]) / 255
 	}
+	if m.RLE != nil {
+		return float32(m.rleAt(x, y)) / 255
+	}
 	return m.Pix[y*m.W+x]
+}
+
+// rleAt finds pixel (x, y) in the compressed stream by skipping whole
+// rows and runs via control bytes.
+func (m *Mask) rleAt(x, y int) uint8 {
+	rle := m.RLE
+	i := 0
+	for row := 0; row < y; row++ {
+		for rx := 0; rx < m.W; {
+			c := int(rle[i])
+			i++
+			if c < 128 {
+				i += c + 1
+				rx += c + 1
+			} else {
+				i++
+				rx += c - 126
+			}
+		}
+	}
+	for rx := 0; ; {
+		c := int(rle[i])
+		i++
+		if c < 128 {
+			if x < rx+c+1 {
+				return rle[i+(x-rx)]
+			}
+			i += c + 1
+			rx += c + 1
+		} else {
+			if x < rx+c-126 {
+				return rle[i]
+			}
+			i++
+			rx += c - 126
+		}
+	}
 }
 
 // Set stores v at pixel (x, y). The caller must stay in bounds. On a
@@ -158,18 +206,41 @@ func (m *Mask) Set(x, y int, v float32) {
 		m.Bytes[y*m.W+x] = uint8(math.Round(float64(v) * 255))
 		return
 	}
+	if m.RLE != nil {
+		// The compressed stream is immutable; writable copies come from
+		// Decoded.
+		panic("core: Set on an RLE-backed mask; call Decoded first")
+	}
 	m.Pix[y*m.W+x] = v
 }
 
 // ToFloat returns a float-backed view of the mask: the mask itself
 // when already float-backed, otherwise a converted copy.
 func (m *Mask) ToFloat() *Mask {
-	if m.Bytes == nil {
+	if m.Pix != nil {
 		return m
 	}
+	b := m.Decoded().Bytes
 	out := NewMask(m.W, m.H)
-	for i, b := range m.Bytes {
-		out.Pix[i] = float32(b) / 255
+	for i, v := range b {
+		out.Pix[i] = float32(v) / 255
+	}
+	return out
+}
+
+// Decoded returns a mask with materialized pixels: the mask itself
+// when Bytes or Pix is already present, otherwise a byte-backed copy
+// decompressed from the RLE stream. It is the decode-then-scan
+// fallback for code without a compressed path (rendering, histograms,
+// region extraction). The stream must be valid (the store validates at
+// load time); a corrupt stream panics.
+func (m *Mask) Decoded() *Mask {
+	if m.Bytes != nil || m.RLE == nil {
+		return m
+	}
+	out := NewByteMask(m.W, m.H)
+	if err := DecodeRLE(m.RLE, m.W, m.H, out.Bytes); err != nil {
+		panic(fmt.Sprintf("core: decoding a validated RLE mask: %v", err))
 	}
 	return out
 }
@@ -188,6 +259,9 @@ func ExactCP(m *Mask, roi Rect, vr ValueRange) int64 {
 	}
 	if m.Bytes != nil {
 		return exactCPBytes(m, roi, vr)
+	}
+	if m.RLE != nil {
+		return exactCPRLE(m, roi, vr)
 	}
 	// Comparisons happen in float64 so the kernel agrees exactly with
 	// ValueRange.Contains and with CHI bin assignment.

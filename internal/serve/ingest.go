@@ -93,8 +93,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	s.c.ingests.Add(1)
+	n := s.c.ingests.Add(1)
 	s.c.masksIn.Add(int64(len(ids)))
+	// Periodic index durability: every IndexEvery acknowledged batches,
+	// persist the CHI index so a crash re-loads it instead of rebuilding
+	// every appended mask's CHI from pixels. The batch itself is already
+	// durable (WAL fsync), so a checkpoint failure downgrades to "the
+	// next checkpoint retries" rather than failing the ingest.
+	if s.cfg.IndexEvery > 0 && n%int64(s.cfg.IndexEvery) == 0 {
+		if err := s.db.CheckpointIndex(); err == nil {
+			s.c.idxCheckpoints.Add(1)
+		}
+	}
 	writeJSON(w, http.StatusOK, ingestResponse{IDs: ids, Count: len(ids)})
 }
 

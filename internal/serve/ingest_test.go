@@ -4,8 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"masksearch"
+	"masksearch/internal/store"
 )
 
 // wireMasks builds n valid /ingest mask payloads for the test server's
@@ -157,5 +163,50 @@ func TestIngestDrainsOnClose(t *testing.T) {
 	}
 	if _, err := db.Compact(context.Background()); err == nil {
 		t.Fatal("compact after close succeeded")
+	}
+}
+
+// TestIngestIndexEvery pins the every-N-batches index checkpoint: with
+// IndexEvery=2, the first acknowledged batch leaves no chi.gob, the
+// second writes one — so a crash between compactions loses at most
+// IndexEvery batches of index work, instead of all of it.
+func TestIngestIndexEvery(t *testing.T) {
+	dir := t.TempDir()
+	spec := store.TinySpec()
+	spec.Images = 8
+	if err := store.Generate(dir, spec); err != nil {
+		t.Fatal(err)
+	}
+	db, err := masksearch.OpenWith(dir, masksearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := New(db, Config{IndexEvery: 2})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	gob := filepath.Join(dir, store.IndexFileName)
+	ingest := func(imageID int64) {
+		t.Helper()
+		status, raw := post(t, ts.URL+"/ingest", map[string]any{"masks": wireMasks(t, db, 2, imageID)}, nil)
+		if status != http.StatusOK {
+			t.Fatalf("ingest: status %d: %s", status, raw)
+		}
+	}
+
+	ingest(9001)
+	if _, err := os.Stat(gob); err == nil {
+		t.Fatal("chi.gob exists after 1 batch with IndexEvery=2")
+	}
+	if n := srv.c.idxCheckpoints.Load(); n != 0 {
+		t.Fatalf("checkpoint counter %d after 1 batch, want 0", n)
+	}
+	ingest(9002)
+	if _, err := os.Stat(gob); err != nil {
+		t.Fatalf("no chi.gob after 2 batches with IndexEvery=2: %v", err)
+	}
+	if n := srv.c.idxCheckpoints.Load(); n != 1 {
+		t.Fatalf("checkpoint counter %d after 2 batches, want 1", n)
 	}
 }

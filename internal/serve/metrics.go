@@ -80,7 +80,11 @@ type counters struct {
 	ingests    atomic.Int64 // /ingest requests acknowledged
 	masksIn    atomic.Int64 // masks acknowledged across /ingest requests
 	compacts   atomic.Int64 // /compact requests completed
-	latency    latencyTracker
+
+	// idxCheckpoints counts successful every-N-batches index
+	// checkpoints (Config.IndexEvery).
+	idxCheckpoints atomic.Int64
+	latency        latencyTracker
 }
 
 // scrapeState remembers the previous /metrics scrape so counter rates

@@ -61,6 +61,12 @@ type Config struct {
 	// MaxSessions caps live sessions; beyond it the least-recently-used
 	// session is evicted. 0 defaults to 1024.
 	MaxSessions int
+	// IndexEvery checkpoints the CHI index to disk after every N
+	// acknowledged /ingest batches (DB.CheckpointIndex), bounding how
+	// much index work a crash can lose between compactions. 0 (the
+	// default) disables the periodic checkpoint; the index is still
+	// persisted at Compact and Close.
+	IndexEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +257,11 @@ func statusFor(err error) int {
 	case errors.Is(err, errRejected):
 		return http.StatusTooManyRequests
 	case errors.As(err, &pe), errors.As(err, &be):
+		return http.StatusBadRequest
+	case errors.Is(err, masksearch.ErrReadOnly):
+		// Appending to a read-only layout is the client targeting the
+		// wrong database, not a server fault — 400, and the wrapped
+		// message already carries the layout and the remedy.
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -587,6 +598,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"msserve.ingest.TornTruncations": float64(ds.Ingest.TornTruncations),
 		"msserve.ingest.Compactions":     float64(ds.Ingest.Compactions),
 		"msserve.ingest.CompactedMasks":  float64(ds.Ingest.CompactedMasks),
+		"msserve.index.Checkpoints":      float64(s.c.idxCheckpoints.Load()),
 	}
 	if ds.Shards > 1 {
 		for i, srs := range ds.ShardReads {
@@ -608,6 +620,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"msserve.plancache.Entries":  float64(ds.PlanCache.Entries),
 		"msserve.index.IndexedMasks": float64(ds.Index.IndexedMasks),
 		"msserve.index.IndexBytes":   float64(ds.Index.IndexBytes),
+		"msserve.store.StoredBytes":  float64(ds.StoredBytes),
 		"msserve.ingest.TailMasks":   float64(ds.Ingest.TailMasks),
 		"msserve.ingest.WALSegments": float64(ds.Ingest.WALSegments),
 		"msserve.ingest.WALBytes":    float64(ds.Ingest.WALBytes),

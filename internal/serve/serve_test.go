@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -601,5 +602,35 @@ func TestConcurrentServing(t *testing.T) {
 	close(errc)
 	for err := range errc {
 		t.Fatal(err)
+	}
+}
+
+// TestStatusForMapping pins the error→HTTP-status table, in particular
+// that a wrapped store ErrReadOnly is a client error (the caller aimed
+// an append at a read-only layout), not a 500.
+func TestStatusForMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"rejected", errRejected, http.StatusTooManyRequests},
+		{"rejected wrapped", fmt.Errorf("admit: %w", errRejected), http.StatusTooManyRequests},
+		{"parse error", &masksearch.ParseError{}, http.StatusBadRequest},
+		{"bind error", &masksearch.BindError{}, http.StatusBadRequest},
+		{"read-only bare", masksearch.ErrReadOnly, http.StatusBadRequest},
+		{"read-only wrapped", fmt.Errorf("store: append to read-only sharded layout at /x (3 shards): %w; compact through OpenIngest or open a single-file layout", masksearch.ErrReadOnly), http.StatusBadRequest},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"deadline wrapped", fmt.Errorf("query: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, statusClientClosedRequest},
+		{"closed", masksearch.ErrClosed, http.StatusServiceUnavailable},
+		{"unknown", errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := statusFor(tc.err); got != tc.want {
+				t.Fatalf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
 	}
 }

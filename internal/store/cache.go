@@ -100,7 +100,7 @@ func (c *maskCache) insert(id int64, m *core.Mask) (*core.Mask, int64) {
 	e.el = c.lru.PushFront(e)
 	c.byID[id] = e
 	c.byMask[m] = e
-	c.size += int64(len(m.Bytes))
+	c.size += maskFootprint(m)
 	return m, c.evictLocked()
 }
 
@@ -140,7 +140,7 @@ func (c *maskCache) evictLocked() int64 {
 			c.lru.Remove(el)
 			delete(c.byID, e.id)
 			delete(c.byMask, e.m)
-			c.size -= int64(len(e.m.Bytes))
+			c.size -= maskFootprint(e.m)
 			if e.pins == 0 {
 				c.recycle(e.m)
 			}
@@ -149,6 +149,14 @@ func (c *maskCache) evictLocked() int64 {
 		el = prev
 	}
 	return evicted
+}
+
+// maskFootprint is the byte size a mask charges against the cache
+// budget: its resident backing, so an RLE-backed mask is accounted in
+// compressed bytes and the same budget holds proportionally more
+// compressed masks.
+func maskFootprint(m *core.Mask) int64 {
+	return int64(len(m.Bytes) + len(m.RLE) + 4*len(m.Pix))
 }
 
 // residentBytes reports the current cache footprint (tests and

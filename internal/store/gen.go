@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,10 +13,37 @@ import (
 )
 
 const (
-	manifestFile = "manifest.json"
-	catalogFile  = "catalog.json"
-	masksFile    = "masks.bin"
+	manifestFile      = "manifest.json"
+	catalogFile       = "catalog.json"
+	masksFile         = "masks.bin"
+	masksRLEFile      = "masks.rle"
+	masksRLEIndexFile = "masks.rle.idx"
 )
+
+// Codec names a mask layout's on-disk pixel encoding (Manifest.Codec,
+// msgen -codec). Raw is the fixed-stride layout: mask i occupies bytes
+// [i*w*h, (i+1)*w*h) of masks.bin. RLE stores each mask's
+// run-length-encoded stream (core.EncodeRLE) concatenated in
+// masks.rle, with a per-mask offset/size column in masks.rle.idx:
+// N+1 little-endian uint64 offsets where mask i's stream is
+// [off[i], off[i+1]) and off[N] is the file size.
+const (
+	CodecRaw = ""
+	CodecRLE = "rle"
+)
+
+// validCodec reports whether name is a known codec.
+func validCodec(name string) bool { return name == CodecRaw || name == CodecRLE }
+
+// GenVersion identifies the synthetic generator's output. Bump it when
+// generated pixels change for the same Spec (it is recorded in the
+// manifest so benchmark harnesses regenerate stale datasets instead of
+// silently comparing against old pixels).
+//
+// Version 2: background noise became 4-px-block structured (see
+// renderBlob), making the synthetic masks representative of upsampled
+// CAM/attention saliency and hence of real-world RLE compressibility.
+const GenVersion = 2
 
 // IndexFileName is where the DB facade persists a CHI index inside a
 // database directory; Generate removes it so a regenerated dataset
@@ -99,6 +127,11 @@ func Generate(dir string, spec Spec) error {
 	return GenerateSharded(dir, spec, 1)
 }
 
+// GenerateCodec is Generate with an explicit mask codec.
+func GenerateCodec(dir string, spec Spec, codec string) error {
+	return GenerateShardedCodec(dir, spec, 1, codec)
+}
+
 // GenerateSharded writes a database directory for spec split into the
 // given number of shards. With shards <= 1 it produces the classic
 // single-segment layout (manifest + catalog + masks.bin at the top
@@ -109,7 +142,17 @@ func Generate(dir string, spec Spec) error {
 // rows, mask ids and every pixel — is byte-identical under every shard
 // count, so sharding is purely a storage-layout choice.
 func GenerateSharded(dir string, spec Spec, shards int) error {
+	return GenerateShardedCodec(dir, spec, shards, CodecRaw)
+}
+
+// GenerateShardedCodec is GenerateSharded with an explicit mask codec.
+// The logical dataset is identical under every codec — only the byte
+// layout of the mask files differs.
+func GenerateShardedCodec(dir string, spec Spec, shards int, codec string) error {
 	spec = spec.withDefaults()
+	if !validCodec(codec) {
+		return fmt.Errorf("store: unknown codec %q (want %q or %q)", codec, CodecRaw, CodecRLE)
+	}
 	if spec.Images <= 0 || spec.W <= 0 || spec.H <= 0 {
 		return fmt.Errorf("store: invalid spec %+v", spec)
 	}
@@ -146,7 +189,7 @@ func GenerateSharded(dir string, spec Spec, shards int) error {
 		}
 	}
 	if shards > 1 {
-		for _, f := range []string{masksFile, catalogFile} {
+		for _, f := range []string{masksFile, masksRLEFile, masksRLEIndexFile, catalogFile} {
 			if err := os.Remove(filepath.Join(dir, f)); err != nil && !os.IsNotExist(err) {
 				return err
 			}
@@ -167,6 +210,7 @@ func GenerateSharded(dir string, spec Spec, shards int) error {
 		f            *os.File
 		w            *bufio.Writer
 		segEntries   []Entry
+		segOffsets   []int64
 		segFirst     int64
 		si           int
 		infos        []ShardInfo
@@ -178,17 +222,33 @@ func GenerateSharded(dir string, spec Spec, shards int) error {
 		}
 		return filepath.Join(dir, ShardDirName(i))
 	}
+	maskFileName := masksFile
+	if codec == CodecRLE {
+		maskFileName = masksRLEFile
+	}
 	openSeg := func(first int64) error {
 		d := segDir(si)
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return err
 		}
+		// Remove the other codec's data files so a regenerated segment
+		// never carries both layouts.
+		stale := []string{masksRLEFile, masksRLEIndexFile}
+		if codec == CodecRLE {
+			stale = []string{masksFile}
+		}
+		for _, s := range stale {
+			if err := os.Remove(filepath.Join(d, s)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
 		var err error
-		if f, err = os.Create(filepath.Join(d, masksFile)); err != nil {
+		if f, err = os.Create(filepath.Join(d, maskFileName)); err != nil {
 			return err
 		}
 		w = bufio.NewWriterSize(f, 1<<20)
 		segEntries = segEntries[:0]
+		segOffsets = append(segOffsets[:0], 0)
 		segFirst = first
 		return nil
 	}
@@ -201,10 +261,15 @@ func GenerateSharded(dir string, spec Spec, shards int) error {
 			return err
 		}
 		d := segDir(si)
+		if codec == CodecRLE {
+			if err := writeOffsets(filepath.Join(d, masksRLEIndexFile), segOffsets); err != nil {
+				return err
+			}
+		}
 		if err := writeJSON(filepath.Join(d, catalogFile), segEntries); err != nil {
 			return err
 		}
-		man := Manifest{Spec: spec, NumMasks: len(segEntries)}
+		man := Manifest{Spec: spec, NumMasks: len(segEntries), Codec: codec, GenVersion: GenVersion}
 		if shards > 1 {
 			man.FirstID = segFirst
 			infos = append(infos, ShardInfo{Dir: ShardDirName(si), FirstID: segFirst, NumMasks: len(segEntries)})
@@ -225,7 +290,13 @@ func GenerateSharded(dir string, spec Spec, shards int) error {
 				return err
 			}
 		}
-		if _, err := w.Write(pix); err != nil {
+		if codec == CodecRLE {
+			rle := core.EncodeRLE(pix, spec.W, spec.H)
+			if _, err := w.Write(rle); err != nil {
+				return err
+			}
+			segOffsets = append(segOffsets, segOffsets[len(segOffsets)-1]+int64(len(rle)))
+		} else if _, err := w.Write(pix); err != nil {
 			return err
 		}
 		segEntries = append(segEntries, e)
@@ -241,7 +312,18 @@ func GenerateSharded(dir string, spec Spec, shards int) error {
 	if shards == 1 {
 		return nil
 	}
-	return writeJSON(filepath.Join(dir, manifestFile), Manifest{Spec: spec, NumMasks: totalEntries, Shards: infos})
+	return writeJSON(filepath.Join(dir, manifestFile),
+		Manifest{Spec: spec, NumMasks: totalEntries, Codec: codec, GenVersion: GenVersion, Shards: infos})
+}
+
+// writeOffsets writes the RLE offset column: len(offs) little-endian
+// uint64 values.
+func writeOffsets(path string, offs []int64) error {
+	buf := make([]byte, 8*len(offs))
+	for i, o := range offs {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(o))
+	}
+	return os.WriteFile(path, buf, 0o644)
 }
 
 // ShardDirName is the directory name of shard i inside a sharded
@@ -331,12 +413,26 @@ func randomObjectBox(rng *rand.Rand, w, h int) core.Rect {
 // renderBlob fills pix with background noise plus a Gaussian bump of
 // the given peak at (cx, cy). A peak of 1.0 saturates the center
 // pixels to exactly 255 (v == 1.0), exercising the top histogram bin.
+//
+// The noise is drawn once per 4x4 pixel block, not per pixel: real
+// saliency maps come from upsampling a coarse CAM/attention grid, so
+// neighboring pixels are strongly correlated. Per-pixel white noise
+// would make the synthetic masks incompressible in a way no real
+// attention map is. Bump GenVersion when the rendering changes.
 func renderBlob(rng *rand.Rand, pix []byte, w, h, cx, cy int, sigma, peak float64) {
+	const noiseBlock = 4
+	nbw := (w + noiseBlock - 1) / noiseBlock
+	nbh := (h + noiseBlock - 1) / noiseBlock
+	noise := make([]float64, nbw*nbh)
+	for i := range noise {
+		noise[i] = 0.12 * rng.Float64()
+	}
 	inv := 1 / (2 * sigma * sigma)
 	for y := 0; y < h; y++ {
+		nrow := noise[(y/noiseBlock)*nbw:]
 		for x := 0; x < w; x++ {
 			dx, dy := float64(x-cx), float64(y-cy)
-			v := peak*math.Exp(-(dx*dx+dy*dy)*inv) + 0.12*rng.Float64()
+			v := peak*math.Exp(-(dx*dx+dy*dy)*inv) + nrow[x/noiseBlock]
 			if v > 1 {
 				v = 1
 			}

@@ -1,0 +1,354 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"masksearch/internal/core"
+)
+
+func appendFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func truncateFile(t *testing.T, path string, n int64) {
+	t.Helper()
+	if err := os.Truncate(path, n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corruptFileAt overwrites one byte at off with an invalid RLE control
+// sequence starter (a repeat control with no room in any row).
+func corruptFileAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{255}, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsStr(s, sub string) bool { return strings.Contains(s, sub) }
+
+// genBothCodecs generates the same spec under the raw and rle codecs
+// and returns the two directories.
+func genBothCodecs(t *testing.T, spec Spec, shards int) (rawDir, rleDir string) {
+	t.Helper()
+	rawDir, rleDir = t.TempDir(), t.TempDir()
+	if err := GenerateShardedCodec(rawDir, spec, shards, CodecRaw); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateShardedCodec(rleDir, spec, shards, CodecRLE); err != nil {
+		t.Fatal(err)
+	}
+	return rawDir, rleDir
+}
+
+// TestRLELayoutEquivalence checks that the rle codec stores the exact
+// same logical dataset as raw — every pixel of every mask, every
+// region read — while OpenAny detects it transparently.
+func TestRLELayoutEquivalence(t *testing.T) {
+	spec := Spec{Name: "t", Images: 10, Models: 2, W: 24, H: 20, Seed: 5, HumanAttention: true}
+	for _, shards := range []int{1, 3} {
+		rawDir, rleDir := genBothCodecs(t, spec, shards)
+		rawSt, rawCat, err := OpenAny(rawDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rawSt.Close()
+		rleSt, rleCat, err := OpenAny(rleDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rleSt.Close()
+		if got, want := rleSt.Codec(), CodecRLE; got != want {
+			t.Fatalf("shards=%d: codec %q, want %q", shards, got, want)
+		}
+		if rawSt.Codec() != CodecRaw {
+			t.Fatalf("shards=%d: raw codec %q", shards, rawSt.Codec())
+		}
+		if rleSt.NumMasks() != rawSt.NumMasks() || rleCat.Len() != rawCat.Len() {
+			t.Fatalf("shards=%d: mask counts differ", shards)
+		}
+		if rleSt.DataBytes() != rawSt.DataBytes() {
+			t.Fatalf("shards=%d: logical DataBytes differ", shards)
+		}
+		if rleSt.StoredBytes() >= rawSt.StoredBytes() {
+			t.Fatalf("shards=%d: rle stored %d bytes, raw %d — no compression", shards, rleSt.StoredBytes(), rawSt.StoredBytes())
+		}
+		region := core.Rect{X0: 3, Y0: 2, X1: 17, Y1: 13}
+		for id := int64(1); id <= int64(rawSt.NumMasks()); id++ {
+			rr, err := rawSt.LoadRegion(id, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr, err := rleSt.LoadRegion(id, region)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rr.Bytes, cr.Bytes) {
+				t.Fatalf("shards=%d mask %d: region pixels differ between codecs", shards, id)
+			}
+		}
+		// Whole-mask loads must charge the compressed size, not the
+		// logical size (region reads are measured separately: under rle
+		// they pay the whole compressed stream, see LoadRegion).
+		rawSt.ResetStats()
+		rleSt.ResetStats()
+		for id := int64(1); id <= int64(rawSt.NumMasks()); id++ {
+			rm, err := rawSt.LoadMask(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cm, err := rleSt.LoadMask(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cm.RLE == nil || cm.Bytes != nil {
+				t.Fatalf("mask %d: rle store served a non-compressed mask", id)
+			}
+			if !bytes.Equal(cm.Decoded().Bytes, rm.Bytes) {
+				t.Fatalf("shards=%d mask %d: pixels differ between codecs", shards, id)
+			}
+			rawSt.ReleaseMask(rm)
+			rleSt.ReleaseMask(cm)
+		}
+		if st := rleSt.Stats(); st.BytesRead >= rawSt.Stats().BytesRead {
+			t.Fatalf("shards=%d: rle loads read %d bytes, raw %d", shards, st.BytesRead, rawSt.Stats().BytesRead)
+		}
+	}
+}
+
+// TestRLECacheAccounting checks that the cache charges compressed
+// bytes: the same budget holds more rle masks than raw masks, and
+// cached rle masks unpin correctly through ReleaseMask.
+func TestRLECacheAccounting(t *testing.T) {
+	spec := Spec{Name: "t", Images: 16, Models: 1, W: 32, H: 32, Seed: 6}
+	_, rleDir := genBothCodecs(t, spec, 1)
+	st, _, err := Open(rleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetCacheBytes(-1)
+	var masks []*core.Mask
+	for id := int64(1); id <= 8; id++ {
+		m, err := st.LoadMask(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masks = append(masks, m)
+	}
+	resident := st.cache.residentBytes()
+	if resident <= 0 || resident >= 8*int64(spec.W*spec.H) {
+		t.Fatalf("resident %d bytes; want compressed accounting below %d", resident, 8*spec.W*spec.H)
+	}
+	for _, m := range masks {
+		st.ReleaseMask(m)
+	}
+	// Hits must serve the identical compressed mask.
+	before := st.Stats()
+	m, err := st.LoadMask(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().CacheHits != before.CacheHits+1 {
+		t.Fatal("expected a cache hit on reload")
+	}
+	st.ReleaseMask(m)
+	// Shrinking the budget to one compressed mask must evict the rest
+	// now that nothing is pinned.
+	st.cache.mu.Lock()
+	st.cache.budget = resident / 8
+	st.cache.mu.Unlock()
+	st.cache.unpin(m) // no-op pin bookkeeping; trigger eviction pass
+	if got := st.cache.residentBytes(); got > resident/8 {
+		t.Fatalf("cache kept %d bytes after budget cut to %d", got, resident/8)
+	}
+}
+
+// TestRLECompactAndRepair ingests into an rle-codec database, compacts
+// into the compressed layout, then simulates a crashed compaction and
+// checks repair truncates both the stream file and the offset column.
+func TestRLECompactAndRepair(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Name: "t", Images: 6, Models: 1, W: 16, H: 16, Seed: 7}
+	if err := GenerateCodec(dir, spec, CodecRLE); err != nil {
+		t.Fatal(err)
+	}
+	ws, cat, err := OpenIngest(DirFS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := ingestBatch(5, 16, 16, 40)
+	ids, err := ws.Append(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ws.Compact(context.Background()); err != nil || n != 5 {
+		t.Fatalf("compact: n=%d err=%v", n, err)
+	}
+	if got := ws.Codec(); got != CodecRLE {
+		t.Fatalf("codec after compact: %q", got)
+	}
+	// Compacted masks must read back byte-identical through the base.
+	for i, id := range ids {
+		m, err := ws.LoadMask(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.RLE == nil {
+			t.Fatalf("mask %d not served from the compressed base after compact", id)
+		}
+		if !bytes.Equal(m.Decoded().Bytes, batch[i].Pix) {
+			t.Fatalf("mask %d: pixels differ after rle compaction", id)
+		}
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen cleanly: manifest, catalog, offsets all extended.
+	ws2, cat2, err := OpenIngest(DirFS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat2.Len() != cat.Len() {
+		t.Fatalf("catalog has %d rows after reopen, want %d", cat2.Len(), cat.Len())
+	}
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Codec != CodecRLE || man.NumMasks != spec.NumMasks()+5 {
+		t.Fatalf("manifest after compact: codec=%q n=%d", man.Codec, man.NumMasks)
+	}
+
+	// Simulate a compaction that crashed after appending stream bytes
+	// and offsets but before the manifest commit: repair must trim both.
+	ws2.Close()
+	stPath := filepath.Join(dir, masksRLEFile)
+	idxPath := filepath.Join(dir, masksRLEIndexFile)
+	appendFile(t, stPath, []byte("garbage-stream-bytes"))
+	appendFile(t, idxPath, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	ws3, _, err := OpenIngest(DirFS(), dir)
+	if err != nil {
+		t.Fatalf("reopen after simulated crash: %v", err)
+	}
+	defer ws3.Close()
+	if got, want := ws3.NumMasks(), spec.NumMasks()+5; got != want {
+		t.Fatalf("recovered %d masks, want %d", got, want)
+	}
+	m, err := ws3.LoadMask(int64(spec.NumMasks() + 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Decoded().Bytes, batch[4].Pix) {
+		t.Fatal("last compacted mask corrupted by repair")
+	}
+}
+
+// TestRLEOpenRejectsCorruptLayout checks the fail-fast open paths.
+func TestRLEOpenRejectsCorruptLayout(t *testing.T) {
+	spec := Spec{Name: "t", Images: 4, Models: 1, W: 8, H: 8, Seed: 8}
+	newDir := func() string {
+		d := t.TempDir()
+		if err := GenerateCodec(d, spec, CodecRLE); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Truncated stream file.
+	d := newDir()
+	truncateFile(t, filepath.Join(d, masksRLEFile), 3)
+	if _, _, err := Open(d); err == nil {
+		t.Fatal("open accepted a truncated masks.rle")
+	}
+	// Truncated offset column.
+	d = newDir()
+	truncateFile(t, filepath.Join(d, masksRLEIndexFile), 8)
+	if _, _, err := Open(d); err == nil {
+		t.Fatal("open accepted a truncated offset column")
+	}
+	// Unknown codec in the manifest.
+	d = newDir()
+	man, err := LoadManifest(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Codec = "zstd"
+	if err := writeJSON(filepath.Join(d, manifestFile), man); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(d); err == nil {
+		t.Fatal("open accepted an unknown codec")
+	}
+	// A corrupt stream body is caught at load time, not open time.
+	d = newDir()
+	st, _, err := Open(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	corruptFileAt(t, filepath.Join(d, masksRLEFile), 0)
+	if _, err := st.LoadMask(1); err == nil {
+		t.Fatal("load accepted a corrupt rle stream")
+	}
+}
+
+// TestReadOnlyAppendErrors checks the wrapped ErrReadOnly messages:
+// errors.Is still matches, and the text names the layout and a
+// remediation.
+func TestReadOnlyAppendErrors(t *testing.T) {
+	spec := Spec{Name: "t", Images: 4, Models: 1, W: 8, H: 8, Seed: 9}
+	rawDir, _ := genBothCodecs(t, spec, 1)
+	st, _, err := Open(rawDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.Append(context.Background(), nil)
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("single-segment append: %v, want ErrReadOnly", err)
+	}
+
+	shDir := t.TempDir()
+	if err := GenerateSharded(shDir, spec, 2); err != nil {
+		t.Fatal(err)
+	}
+	ss, _, err := OpenSharded(shDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	_, err = ss.Append(context.Background(), nil)
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("sharded append: %v, want ErrReadOnly", err)
+	}
+	for _, want := range []string{"sharded layout", "OpenIngest", "single-file"} {
+		if !containsStr(err.Error(), want) {
+			t.Fatalf("sharded append error %q lacks %q", err, want)
+		}
+	}
+}

@@ -25,7 +25,8 @@ import (
 // the list is guarded by mu (loads take the read lock, addShard the
 // write lock).
 type ShardedStore struct {
-	dir string
+	dir   string
+	codec string
 
 	mu       sync.RWMutex
 	shards   []*Store
@@ -54,7 +55,10 @@ func OpenSharded(dir string) (*ShardedStore, *Catalog, error) {
 	if len(man.Shards) == 0 {
 		return nil, nil, fmt.Errorf("store: open %s: not a sharded database (no shard list in manifest)", dir)
 	}
-	ss := &ShardedStore{dir: dir, pool: &sync.Pool{}}
+	if !validCodec(man.Codec) {
+		return nil, nil, fmt.Errorf("store: open %s: unknown codec %q", dir, man.Codec)
+	}
+	ss := &ShardedStore{dir: dir, codec: man.Codec, pool: &sync.Pool{}}
 	var entries []Entry
 	wantFirst := int64(1)
 	for _, info := range man.Shards {
@@ -62,6 +66,12 @@ func OpenSharded(dir string) (*ShardedStore, *Catalog, error) {
 		if err != nil {
 			ss.Close()
 			return nil, nil, fmt.Errorf("store: open %s: shard %s: %w", dir, info.Dir, err)
+		}
+		if seg.codec != man.Codec {
+			seg.Close()
+			ss.Close()
+			return nil, nil, fmt.Errorf("store: open %s: shard %s uses codec %q, manifest says %q — regenerate the dataset",
+				dir, info.Dir, seg.codec, man.Codec)
 		}
 		if seg.base+1 != info.FirstID || seg.NumMasks() != info.NumMasks || info.FirstID != wantFirst {
 			seg.Close()
@@ -105,15 +115,32 @@ func (ss *ShardedStore) NumMasks() int {
 func (ss *ShardedStore) MaskW() int { return ss.w }
 func (ss *ShardedStore) MaskH() int { return ss.h }
 
-// DataBytes returns the total stored pixel bytes across shards.
+// DataBytes returns the total logical pixel bytes across shards.
 func (ss *ShardedStore) DataBytes() int64 {
 	return int64(ss.NumMasks()) * int64(ss.w) * int64(ss.h)
 }
 
+// Codec returns the on-disk pixel encoding shared by every shard.
+func (ss *ShardedStore) Codec() string { return ss.codec }
+
+// StoredBytes returns the on-disk mask data size summed over shards.
+func (ss *ShardedStore) StoredBytes() int64 {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	var n int64
+	for _, s := range ss.shards {
+		n += s.StoredBytes()
+	}
+	return n
+}
+
 // Append returns ErrReadOnly: the sharded layout itself has no WAL.
-// Open the database through OpenIngest to append.
+// Open the database through OpenIngest to append — its Compact folds
+// acknowledged appends into a fresh shard — or open a single-file
+// layout, which compacts in place.
 func (ss *ShardedStore) Append(ctx context.Context, masks []IngestMask) ([]int64, error) {
-	return nil, ErrReadOnly
+	return nil, fmt.Errorf("store: append to read-only sharded layout at %s (%d shards): %w; compact through OpenIngest or open a single-file layout",
+		ss.dir, ss.NumShards(), ErrReadOnly)
 }
 
 // Close releases every shard, returning the first error.
@@ -213,7 +240,11 @@ func (ss *ShardedStore) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
 // because a mask does not carry its id; S is small, so this stays
 // cheap next to the load it retires.
 func (ss *ShardedStore) ReleaseMask(m *core.Mask) {
-	if m == nil || m.Bytes == nil || len(m.Bytes) != ss.w*ss.h || m.W != ss.w || m.H != ss.h {
+	if m == nil || m.W != ss.w || m.H != ss.h {
+		return
+	}
+	pooled := m.Bytes != nil && len(m.Bytes) == ss.w*ss.h
+	if !pooled && m.RLE == nil {
 		return
 	}
 	ss.mu.RLock()
@@ -224,8 +255,10 @@ func (ss *ShardedStore) ReleaseMask(m *core.Mask) {
 			return
 		}
 	}
-	m.Pix = nil
-	ss.pool.Put(m)
+	if pooled {
+		m.Pix = nil
+		ss.pool.Put(m)
+	}
 }
 
 // SetCacheBytes budgets the per-shard LRU cache arenas. The total

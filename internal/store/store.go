@@ -6,13 +6,21 @@
 //
 // Layout of a database directory:
 //
-//	manifest.json  — the generation Spec plus derived counts
+//	manifest.json  — the generation Spec plus derived counts and codec
 //	catalog.json   — []Entry, one row per mask
 //	masks.bin      — raw uint8 pixels, mask id i at offset (i-1)*W*H
+//
+// With the RLE codec (Manifest.Codec == CodecRLE) the pixel file is
+// replaced by:
+//
+//	masks.rle      — per-mask core.EncodeRLE streams, concatenated
+//	masks.rle.idx  — offset column: N+1 little-endian uint64 values,
+//	                 mask i's stream at [off[i], off[i+1])
 package store
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -102,6 +110,13 @@ type Manifest struct {
 	// holds no masks.bin of its own, only the listed shard segments.
 	// Ranges are contiguous and ascending, covering [1, NumMasks].
 	Shards []ShardInfo `json:"shards,omitempty"`
+	// Codec names the pixel encoding of the mask files (CodecRaw or
+	// CodecRLE). OpenAny detects it transparently.
+	Codec string `json:"codec,omitempty"`
+	// GenVersion records the generator version that produced a
+	// synthetic dataset, so harnesses regenerate when the generator's
+	// output changed for the same Spec. 0 on ingested/legacy data.
+	GenVersion int `json:"gen_version,omitempty"`
 }
 
 // MaskStore is the read surface shared by the single-segment Store
@@ -121,6 +136,12 @@ type MaskStore interface {
 	MaskW() int
 	MaskH() int
 	DataBytes() int64
+	// Codec names the on-disk pixel encoding (CodecRaw or CodecRLE).
+	Codec() string
+	// StoredBytes is the on-disk size of the mask data: DataBytes for
+	// the raw codec, the compressed stream size for RLE. The ratio
+	// DataBytes/StoredBytes is the compression ratio.
+	StoredBytes() int64
 	Dir() string
 	Close() error
 	SetCacheBytes(n int64)
@@ -149,6 +170,14 @@ type Store struct {
 	dir  string
 	f    *os.File
 	w, h int
+	// codec is the pixel encoding of f (CodecRaw or CodecRLE).
+	codec string
+	// offsets, for the RLE codec, points at the immutable offset
+	// column: numMasks+1 entries, mask (base+i)'s stream at
+	// [offsets[i-1], offsets[i]) in f. Compaction publishes a new
+	// slice via extendRLE (copy-on-write) before bumping numMasks, so
+	// concurrent loads always see offsets covering every visible id.
+	offsets atomic.Pointer[[]int64]
 	// numMasks is atomic because compaction extends the segment
 	// (extend) while concurrent queries route loads through checkID.
 	numMasks atomic.Int64
@@ -208,29 +237,74 @@ func Open(dir string) (*Store, *Catalog, error) {
 		return nil, nil, fmt.Errorf("store: open %s: catalog has %d rows, manifest says %d masks — inconsistent dataset",
 			dir, len(entries), man.NumMasks)
 	}
-	f, err := os.Open(filepath.Join(dir, masksFile))
+	if !validCodec(man.Codec) {
+		return nil, nil, fmt.Errorf("store: open %s: unknown codec %q", dir, man.Codec)
+	}
+	name := masksFile
+	if man.Codec == CodecRLE {
+		name = masksRLEFile
+	}
+	f, err := os.Open(filepath.Join(dir, name))
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
 	spec := man.Spec.withDefaults()
+	s := &Store{
+		dir: dir, f: f, w: spec.W, h: spec.H,
+		codec:    man.Codec,
+		base:     max(0, man.FirstID-1),
+		maskPool: &sync.Pool{},
+	}
 	// Fail fast on a truncated or corrupted mask file: without this
-	// check a short masks.bin only surfaces mid-query as a confusing
+	// check a short pixel file only surfaces mid-query as a confusing
 	// ReadAt error on whatever mask happens to fall past the end.
-	if fi, err := f.Stat(); err != nil {
+	fi, err := f.Stat()
+	if err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if man.Codec == CodecRLE {
+		offs, err := readOffsets(filepath.Join(dir, masksRLEIndexFile), man.NumMasks)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+		if want := offs[len(offs)-1]; fi.Size() != want {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: open %s: masks.rle is %d bytes, offset column says %d — truncated or corrupted dataset",
+				dir, fi.Size(), want)
+		}
+		s.offsets.Store(&offs)
 	} else if want := int64(man.NumMasks) * int64(spec.W) * int64(spec.H); fi.Size() != want {
 		f.Close()
 		return nil, nil, fmt.Errorf("store: open %s: masks.bin is %d bytes, want exactly %d (%d masks of %dx%d) — truncated or corrupted dataset",
 			dir, fi.Size(), want, man.NumMasks, spec.W, spec.H)
 	}
-	s := &Store{
-		dir: dir, f: f, w: spec.W, h: spec.H,
-		base:     max(0, man.FirstID-1),
-		maskPool: &sync.Pool{},
-	}
 	s.numMasks.Store(int64(man.NumMasks))
 	return s, NewCatalog(entries), nil
+}
+
+// readOffsets reads and validates an RLE offset column of n masks.
+func readOffsets(path string, n int) ([]int64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 8*(n+1) {
+		return nil, fmt.Errorf("store: offset column %s holds %d bytes, want %d (%d masks)",
+			filepath.Base(path), len(b), 8*(n+1), n)
+	}
+	offs := make([]int64, n+1)
+	for i := range offs {
+		offs[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+		if offs[i] < 0 || (i > 0 && offs[i] < offs[i-1]) {
+			return nil, fmt.Errorf("store: offset column %s: offsets not monotone at entry %d", filepath.Base(path), i)
+		}
+	}
+	if offs[0] != 0 {
+		return nil, fmt.Errorf("store: offset column %s: first offset is %d, want 0", filepath.Base(path), offs[0])
+	}
+	return offs, nil
 }
 
 // OpenAny opens a database directory of either layout: it returns a
@@ -262,19 +336,46 @@ func (s *Store) NumMasks() int { return int(s.numMasks.Load()) }
 func (s *Store) MaskW() int { return s.w }
 func (s *Store) MaskH() int { return s.h }
 
-// DataBytes returns the total stored pixel bytes.
+// DataBytes returns the total logical pixel bytes (NumMasks * W * H),
+// independent of the codec.
 func (s *Store) DataBytes() int64 { return s.numMasks.Load() * int64(s.w) * int64(s.h) }
+
+// Codec returns the on-disk pixel encoding.
+func (s *Store) Codec() string { return s.codec }
+
+// StoredBytes returns the on-disk size of the mask data.
+func (s *Store) StoredBytes() int64 {
+	if s.codec == CodecRLE {
+		offs := *s.offsets.Load()
+		return offs[len(offs)-1]
+	}
+	return s.DataBytes()
+}
 
 // Append returns ErrReadOnly: a bare segment has no WAL to make an
 // append durable. Open the database through OpenIngest instead.
 func (s *Store) Append(ctx context.Context, masks []IngestMask) ([]int64, error) {
-	return nil, ErrReadOnly
+	return nil, fmt.Errorf("store: append to read-only single-segment layout at %s: %w", s.dir, ErrReadOnly)
 }
 
 // extend publishes n additional masks appended (and fsynced) to
 // masks.bin by compaction: ids up to base+numMasks+n become loadable.
-// The caller must have made the new pixels durable first.
+// The caller must have made the new pixels durable first. Raw codec
+// only; RLE segments extend through extendRLE.
 func (s *Store) extend(n int) { s.numMasks.Add(int64(n)) }
+
+// extendRLE publishes masks appended (and fsynced) to masks.rle by
+// compaction: tail holds the end offset of each new stream, continuing
+// from the current last offset. The new offset column is published
+// before the mask count so concurrent loads never see an id whose
+// offsets are missing.
+func (s *Store) extendRLE(tail []int64) {
+	old := *s.offsets.Load()
+	offs := make([]int64, 0, len(old)+len(tail))
+	offs = append(append(offs, old...), tail...)
+	s.offsets.Store(&offs)
+	s.numMasks.Add(int64(len(tail)))
+}
 
 // Close releases the underlying file.
 func (s *Store) Close() error { return s.f.Close() }
@@ -294,6 +395,11 @@ func (s *Store) SetCacheBytes(n int64) {
 		return
 	}
 	s.cache = newMaskCache(n, func(m *core.Mask) {
+		// Only fixed-stride byte buffers are interchangeable; RLE-backed
+		// masks have per-mask sizes and are left to the GC.
+		if m.Bytes == nil || len(m.Bytes) != s.w*s.h {
+			return
+		}
 		m.Pix = nil
 		s.maskPool.Put(m)
 	})
@@ -390,7 +496,10 @@ func (s *Store) checkID(id int64) error {
 
 // LoadMask returns one full mask, reading it from disk into a pooled
 // byte-backed buffer — or, with a cache configured (SetCacheBytes),
-// serving the resident copy with no disk traffic. Cached masks are
+// serving the resident copy with no disk traffic. On an RLE store the
+// mask comes back RLE-backed without decompression (the hot kernels
+// compute on the compressed form) and only the compressed bytes are
+// charged to the read stats and the cache budget. Cached masks are
 // shared between concurrent callers and must be treated as read-only;
 // pass them back through ReleaseMask when done so the cache can evict.
 func (s *Store) LoadMask(id int64) (*core.Mask, error) {
@@ -403,6 +512,9 @@ func (s *Store) LoadMask(id int64) (*core.Mask, error) {
 			s.accountCache(1, 0, 0)
 			return m, nil
 		}
+	}
+	if s.codec == CodecRLE {
+		return s.loadMaskCompressed(id, cache)
 	}
 	n := s.w * s.h
 	m, _ := s.maskPool.Get().(*core.Mask)
@@ -422,6 +534,40 @@ func (s *Store) LoadMask(id int64) (*core.Mask, error) {
 	return m, nil
 }
 
+// loadMaskCompressed is the RLE-codec load path: it reads only the
+// mask's compressed stream and returns it as an RLE-backed mask, never
+// materializing pixels.
+func (s *Store) loadMaskCompressed(id int64, cache *maskCache) (*core.Mask, error) {
+	rle, err := s.readRLE(id)
+	if err != nil {
+		return nil, err
+	}
+	s.account(1, 0, int64(len(rle)))
+	m := &core.Mask{W: s.w, H: s.h, RLE: rle}
+	if cache != nil {
+		var evicted int64
+		m, evicted = cache.insert(id, m)
+		s.accountCache(0, 1, evicted)
+	}
+	return m, nil
+}
+
+// readRLE reads and structurally validates mask id's compressed
+// stream. Validation walks control bytes only; once it passes, the
+// kernels may iterate the stream unchecked.
+func (s *Store) readRLE(id int64) ([]byte, error) {
+	offs := *s.offsets.Load()
+	i := id - s.base
+	buf := make([]byte, offs[i]-offs[i-1])
+	if _, err := s.f.ReadAt(buf, offs[i-1]); err != nil {
+		return nil, fmt.Errorf("store: read mask %d: %w", id, err)
+	}
+	if err := core.ValidateRLE(buf, s.w, s.h); err != nil {
+		return nil, fmt.Errorf("store: mask %d: corrupt rle stream: %w", id, err)
+	}
+	return buf, nil
+}
+
 // ReleaseMask returns a mask obtained from LoadMask to the buffer
 // pool — or, when the mask is cache-resident, unpins it so the cache
 // may evict it later (the buffer reaches the pool on eviction). The
@@ -433,7 +579,15 @@ func (s *Store) LoadMask(id int64) (*core.Mask, error) {
 // cost their own bytes but never the cache's). Masks of foreign
 // dimensions are ignored.
 func (s *Store) ReleaseMask(m *core.Mask) {
-	if m == nil || m.Bytes == nil || len(m.Bytes) != s.w*s.h || m.W != s.w || m.H != s.h {
+	if m == nil || m.W != s.w || m.H != s.h {
+		return
+	}
+	if m.Bytes == nil || len(m.Bytes) != s.w*s.h {
+		// RLE-backed masks still unpin from the cache but never enter
+		// the fixed-stride buffer pool.
+		if m.RLE != nil {
+			s.releaseCached(m)
+		}
 		return
 	}
 	if s.releaseCached(m) {
@@ -464,7 +618,11 @@ func (s *Store) releaseCached(m *core.Mask) bool {
 // only the region's logical bytes are charged to the read stats. A
 // region spanning the full mask width is contiguous on disk and is
 // fetched with a single ReadAt; narrower regions read row by row,
-// each row landing directly in the output buffer.
+// each row landing directly in the output buffer. On an RLE store the
+// variable-length rows are not addressable without the stream, so the
+// whole compressed mask is read (and charged) and decoded through a
+// pooled scratch buffer — region reads lose the partial-read
+// advantage under compression.
 func (s *Store) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
 	if err := s.checkID(id); err != nil {
 		return nil, err
@@ -473,6 +631,9 @@ func (s *Store) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
 	if r.Empty() {
 		s.account(0, 1, 0)
 		return core.NewByteMask(0, 0), nil
+	}
+	if s.codec == CodecRLE {
+		return s.loadRegionCompressed(id, r)
 	}
 	maskOff := (id - s.base - 1) * int64(s.w) * int64(s.h)
 	rw := r.W()
@@ -494,6 +655,34 @@ func (s *Store) LoadRegion(id int64, r core.Rect) (*core.Mask, error) {
 		}
 	}
 	s.account(0, 1, int64(r.Area()))
+	return out, nil
+}
+
+// loadRegionCompressed extracts a region from an RLE mask by decoding
+// the full stream into a pooled scratch buffer and copying out the
+// requested rows. r is non-empty and clamped by the caller.
+func (s *Store) loadRegionCompressed(id int64, r core.Rect) (*core.Mask, error) {
+	rle, err := s.readRLE(id)
+	if err != nil {
+		return nil, err
+	}
+	s.account(0, 1, int64(len(rle)))
+	tmp, _ := s.maskPool.Get().(*core.Mask)
+	if tmp == nil {
+		tmp = core.NewByteMask(s.w, s.h)
+	}
+	defer func() {
+		tmp.Pix = nil
+		s.maskPool.Put(tmp)
+	}()
+	if err := core.DecodeRLE(rle, s.w, s.h, tmp.Bytes); err != nil {
+		return nil, fmt.Errorf("store: mask %d: %w", id, err)
+	}
+	rw := r.W()
+	out := core.NewByteMask(rw, r.H())
+	for y := r.Y0; y < r.Y1; y++ {
+		copy(out.Bytes[(y-r.Y0)*rw:], tmp.Bytes[y*s.w+r.X0:y*s.w+r.X1])
+	}
 	return out, nil
 }
 

@@ -242,11 +242,35 @@ func repairBase(fsys FS, dir string, man Manifest) error {
 		}
 		return nil
 	}
-	spec := man.Spec.withDefaults()
-	want := int64(man.NumMasks) * int64(spec.W) * int64(spec.H)
-	if fi, err := os.Stat(filepath.Join(dir, masksFile)); err == nil && fi.Size() > want {
-		if err := fsys.Truncate(filepath.Join(dir, masksFile), want); err != nil {
+	if man.Codec == CodecRLE {
+		// Compaction appends streams to masks.rle and offsets to the
+		// idx column before its manifest commit; trim both back to what
+		// the manifest references (idx first — its committed length
+		// bounds the committed stream bytes).
+		idxPath := filepath.Join(dir, masksRLEIndexFile)
+		wantIdx := int64(8 * (man.NumMasks + 1))
+		if fi, err := os.Stat(idxPath); err == nil && fi.Size() > wantIdx {
+			if err := fsys.Truncate(idxPath, wantIdx); err != nil {
+				return err
+			}
+		}
+		offs, err := readOffsets(idxPath, man.NumMasks)
+		if err != nil {
 			return err
+		}
+		want := offs[len(offs)-1]
+		if fi, err := os.Stat(filepath.Join(dir, masksRLEFile)); err == nil && fi.Size() > want {
+			if err := fsys.Truncate(filepath.Join(dir, masksRLEFile), want); err != nil {
+				return err
+			}
+		}
+	} else {
+		spec := man.Spec.withDefaults()
+		want := int64(man.NumMasks) * int64(spec.W) * int64(spec.H)
+		if fi, err := os.Stat(filepath.Join(dir, masksFile)); err == nil && fi.Size() > want {
+			if err := fsys.Truncate(filepath.Join(dir, masksFile), want); err != nil {
+				return err
+			}
 		}
 	}
 	var entries []Entry
@@ -769,10 +793,44 @@ func (ws *WALStore) Compact(ctx context.Context) (int, error) {
 }
 
 // compactSingleLocked folds the tail into a single-segment base:
-// append pixels to masks.bin (fsync), rewrite catalog.json, then
-// commit by renaming the new manifest into place and syncing the
-// directory. Publishes the new id range into the live base on success.
+// append pixels to the mask file in the base's codec (fsync; under RLE
+// each mask is encoded and the offset column extended), rewrite
+// catalog.json, then commit by renaming the new manifest into place
+// and syncing the directory. Publishes the new id range into the live
+// base on success.
 func (ws *WALStore) compactSingleLocked(base *Store, entries []Entry, pixes [][]byte) error {
+	var tail []int64 // RLE codec: end offset per appended stream
+	if base.codec == CodecRLE {
+		var err error
+		if tail, err = ws.appendRLELocked(base, pixes); err != nil {
+			return err
+		}
+	} else if err := ws.appendRawLocked(base, pixes); err != nil {
+		return err
+	}
+	if err := writeJSONSync(ws.fsys, filepath.Join(ws.dir, catalogFile), ws.cat.Entries()); err != nil {
+		return fmt.Errorf("store: compact: write catalog: %w", err)
+	}
+	man := ws.man
+	man.NumMasks += len(entries)
+	if err := writeJSONSync(ws.fsys, filepath.Join(ws.dir, manifestFile), man); err != nil {
+		return fmt.Errorf("store: compact: write manifest: %w", err)
+	}
+	if err := ws.fsys.SyncDir(ws.dir); err != nil {
+		return fmt.Errorf("store: compact: fsync dir: %w", err)
+	}
+	ws.man = man
+	if base.codec == CodecRLE {
+		base.extendRLE(tail)
+	} else {
+		base.extend(len(entries))
+	}
+	ws.baseMax.Add(int64(len(entries)))
+	return nil
+}
+
+// appendRawLocked appends raw pixel blocks to masks.bin and fsyncs.
+func (ws *WALStore) appendRawLocked(base *Store, pixes [][]byte) error {
 	path := filepath.Join(ws.dir, masksFile)
 	want := int64(base.NumMasks()) * int64(ws.w) * int64(ws.h)
 	// Self-heal a previous compaction attempt that appended pixels but
@@ -804,21 +862,79 @@ func (ws *WALStore) compactSingleLocked(base *Store, entries []Entry, pixes [][]
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	if err := writeJSONSync(ws.fsys, filepath.Join(ws.dir, catalogFile), ws.cat.Entries()); err != nil {
-		return fmt.Errorf("store: compact: write catalog: %w", err)
-	}
-	man := ws.man
-	man.NumMasks += len(entries)
-	if err := writeJSONSync(ws.fsys, filepath.Join(ws.dir, manifestFile), man); err != nil {
-		return fmt.Errorf("store: compact: write manifest: %w", err)
-	}
-	if err := ws.fsys.SyncDir(ws.dir); err != nil {
-		return fmt.Errorf("store: compact: fsync dir: %w", err)
-	}
-	ws.man = man
-	base.extend(len(entries))
-	ws.baseMax.Add(int64(len(entries)))
 	return nil
+}
+
+// appendRLELocked encodes the tail pixels and appends the streams to
+// masks.rle and their end offsets to the offset column, fsyncing both
+// (streams first: the idx column must never reference bytes that are
+// not durable). Returns the new end offsets for extendRLE.
+func (ws *WALStore) appendRLELocked(base *Store, pixes [][]byte) ([]int64, error) {
+	path := filepath.Join(ws.dir, masksRLEFile)
+	idxPath := filepath.Join(ws.dir, masksRLEIndexFile)
+	want := base.StoredBytes()
+	wantIdx := int64(8 * (base.NumMasks() + 1))
+	// Self-heal a crashed compaction, idx first (see repairBase).
+	if fi, err := os.Stat(idxPath); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	} else if fi.Size() > wantIdx {
+		if err := ws.fsys.Truncate(idxPath, wantIdx); err != nil {
+			return nil, fmt.Errorf("store: compact: %w", err)
+		}
+	} else if fi.Size() < wantIdx {
+		return nil, fmt.Errorf("store: compact: offset column is %d bytes, want %d", fi.Size(), wantIdx)
+	}
+	if fi, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	} else if fi.Size() > want {
+		if err := ws.fsys.Truncate(path, want); err != nil {
+			return nil, fmt.Errorf("store: compact: %w", err)
+		}
+	} else if fi.Size() < want {
+		return nil, fmt.Errorf("store: compact: masks.rle is %d bytes, offset column says %d", fi.Size(), want)
+	}
+	f, err := ws.fsys.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	tail := make([]int64, 0, len(pixes))
+	off := want
+	for _, pix := range pixes {
+		rle := core.EncodeRLE(pix, ws.w, ws.h)
+		if _, err := f.Write(rle); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: compact: append rle streams: %w", err)
+		}
+		off += int64(len(rle))
+		tail = append(tail, off)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: compact: fsync masks.rle: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	fi, err := ws.fsys.OpenAppend(idxPath)
+	if err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	buf := make([]byte, 8*len(tail))
+	for i, o := range tail {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(o))
+	}
+	if _, err := fi.Write(buf); err != nil {
+		fi.Close()
+		return nil, fmt.Errorf("store: compact: append offset column: %w", err)
+	}
+	if err := fi.Sync(); err != nil {
+		fi.Close()
+		return nil, fmt.Errorf("store: compact: fsync offset column: %w", err)
+	}
+	if err := fi.Close(); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	return tail, nil
 }
 
 // compactShardedLocked folds the tail into a sharded base as one
@@ -834,12 +950,22 @@ func (ws *WALStore) compactShardedLocked(base *ShardedStore, entries []Entry, pi
 	if err := ws.fsys.MkdirAll(shardDir); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	f, err := ws.fsys.Create(filepath.Join(shardDir, masksFile))
+	maskName := masksFile
+	if ws.man.Codec == CodecRLE {
+		maskName = masksRLEFile
+	}
+	f, err := ws.fsys.Create(filepath.Join(shardDir, maskName))
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
+	offs := []int64{0}
 	for _, pix := range pixes {
-		if _, err := f.Write(pix); err != nil {
+		data := pix
+		if ws.man.Codec == CodecRLE {
+			data = core.EncodeRLE(pix, ws.w, ws.h)
+			offs = append(offs, offs[len(offs)-1]+int64(len(data)))
+		}
+		if _, err := f.Write(data); err != nil {
 			f.Close()
 			return fmt.Errorf("store: compact: write shard pixels: %w", err)
 		}
@@ -851,10 +977,20 @@ func (ws *WALStore) compactShardedLocked(base *ShardedStore, entries []Entry, pi
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
+	if ws.man.Codec == CodecRLE {
+		buf := make([]byte, 8*len(offs))
+		for i, o := range offs {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(o))
+		}
+		if err := writeFileSync(ws.fsys, filepath.Join(shardDir, masksRLEIndexFile), buf); err != nil {
+			return fmt.Errorf("store: compact: write shard offset column: %w", err)
+		}
+	}
 	if err := writeJSONSync(ws.fsys, filepath.Join(shardDir, catalogFile), entries); err != nil {
 		return fmt.Errorf("store: compact: write shard catalog: %w", err)
 	}
-	segMan := Manifest{Spec: ws.man.Spec, NumMasks: len(entries), FirstID: firstID}
+	segMan := Manifest{Spec: ws.man.Spec, NumMasks: len(entries), FirstID: firstID,
+		Codec: ws.man.Codec, GenVersion: ws.man.GenVersion}
 	if err := writeJSONSync(ws.fsys, filepath.Join(shardDir, manifestFile), segMan); err != nil {
 		return fmt.Errorf("store: compact: write shard manifest: %w", err)
 	}
@@ -956,10 +1092,18 @@ func (ws *WALStore) NumMasks() int { return ws.cat.Len() }
 func (ws *WALStore) MaskW() int { return ws.w }
 func (ws *WALStore) MaskH() int { return ws.h }
 
-// DataBytes returns the total stored pixel bytes, tail included.
+// DataBytes returns the total logical pixel bytes, tail included.
 func (ws *WALStore) DataBytes() int64 {
 	return int64(ws.NumMasks()) * int64(ws.w) * int64(ws.h)
 }
+
+// Codec returns the base layout's pixel encoding. WAL tail masks are
+// always raw in their segments; Compact folds them into the codec.
+func (ws *WALStore) Codec() string { return ws.base.Codec() }
+
+// StoredBytes returns the base layout's on-disk mask data size. WAL
+// segment bytes are reported separately via IngestStats.WALBytes.
+func (ws *WALStore) StoredBytes() int64 { return ws.base.StoredBytes() }
 
 // Dir returns the database directory.
 func (ws *WALStore) Dir() string { return ws.dir }

@@ -70,6 +70,36 @@ func GenerateShardedDataset(dir string, spec DatasetSpec, shards int) error {
 	return store.GenerateSharded(dir, spec, shards)
 }
 
+// Storage codecs for GenerateDatasetCodec / GenerateShardedDatasetCodec.
+// Open detects the codec from the manifest; query results are
+// byte-identical across codecs.
+const (
+	// CodecRaw stores masks as dense uint8 rows (masks.bin).
+	CodecRaw = store.CodecRaw
+	// CodecRLE stores masks run-length encoded (masks.rle + offset
+	// catalog); the hot kernels compute directly on the runs.
+	CodecRLE = store.CodecRLE
+)
+
+// ErrReadOnly is returned (wrapped, with the layout and a remedy hint)
+// by Append on a store opened without an ingestion path. The DB facade
+// always opens write-capable, so callers of DB.Append see it only when
+// embedding the lower-level store directly; servers should map it to a
+// client error, not a 500.
+var ErrReadOnly = store.ErrReadOnly
+
+// GenerateDatasetCodec is GenerateDataset with an explicit storage
+// codec (CodecRaw or CodecRLE).
+func GenerateDatasetCodec(dir string, spec DatasetSpec, codec string) error {
+	return store.GenerateCodec(dir, spec, codec)
+}
+
+// GenerateShardedDatasetCodec is GenerateShardedDataset with an
+// explicit storage codec (CodecRaw or CodecRLE).
+func GenerateShardedDatasetCodec(dir string, spec DatasetSpec, shards int, codec string) error {
+	return store.GenerateShardedCodec(dir, spec, shards, codec)
+}
+
 // WILDSSim is the scaled stand-in for the paper's WILDS dataset:
 // 1,500 images with two model saliency maps plus one human attention
 // map each, at 128x128.

@@ -39,6 +39,11 @@ func (k PlanKind) String() string {
 type plan struct {
 	kind PlanKind
 
+	// storage names the mask layout the plan reads, for EXPLAIN only
+	// ("rle (compute-on-compressed)" over a compressed store; empty —
+	// and omitted from the output — over the raw layout).
+	storage string
+
 	// targetDesc and keep restrict the candidate masks by metadata.
 	targetDesc string
 	keep       func(store.Entry) bool
@@ -293,6 +298,11 @@ func cmpToPred(t core.Term, op string, num float64) core.Pred {
 func (db *DB) compile(stmt *selectStmt) (*planTemplate, error) {
 	t := &planTemplate{nParams: stmt.nParams}
 	p := &t.base
+	if c := db.st.Codec(); c != "" {
+		// bind copies t.base by value, so the storage line survives
+		// into every bound plan without per-bind work.
+		p.storage = c + " (compute-on-compressed)"
+	}
 
 	// LIMIT: literal now, placeholder at bind time.
 	if stmt.limit.isParam() {
@@ -689,6 +699,9 @@ func (p *plan) explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan: %s\n", p.kind)
 	fmt.Fprintf(&b, "source: masks\n")
+	if p.storage != "" {
+		fmt.Fprintf(&b, "storage: %s\n", p.storage)
+	}
 	fmt.Fprintf(&b, "targets: %s\n", p.targetDesc)
 	switch p.kind {
 	case planFilter:
