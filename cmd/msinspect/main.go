@@ -122,14 +122,20 @@ func summarize(db *masksearch.DB) {
 	if s := db.Shards(); s > 1 {
 		fmt.Printf("storage: %d shards\n", s)
 	}
+	dbStats := db.Stats()
 	if c := db.Codec(); c != "" {
 		stored := db.StoredBytes()
-		logical := db.Stats().Index.DataBytes
+		logical := dbStats.Index.DataBytes
 		line := fmt.Sprintf("codec: %s (%.1f MB stored", c, float64(stored)/1e6)
 		if stored > 0 {
 			line += fmt.Sprintf(", %.2fx compression", float64(logical)/float64(stored))
 		}
+		if dbStats.GenVersion > 0 {
+			line += fmt.Sprintf(", gen v%d", dbStats.GenVersion)
+		}
 		fmt.Println(line + ")")
+	} else if dbStats.GenVersion > 0 {
+		fmt.Printf("codec: raw, gen v%d\n", dbStats.GenVersion)
 	}
 	images := map[int64]bool{}
 	models := map[int]int{}
@@ -169,6 +175,9 @@ func inspectMask(db *masksearch.DB, id int64, lo, hi float64, renderW int) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The deferred argument is evaluated here, so the store gets back
+	// the mask it handed out even though m is rebound just below.
+	defer db.ReleaseMask(m)
 	// Inspection reads every pixel several times (histogram, rendering);
 	// decode an RLE-backed mask once instead of run-walking per access.
 	m = m.Decoded()

@@ -1,0 +1,66 @@
+// Command msvet is the repo's multichecker: it runs the stock `go
+// vet` passes and the internal/lint invariant analyzers over the
+// given packages (default ./...) and exits non-zero on any finding.
+// DESIGN.md invariant 12 is "msvet is green at every commit"; CI runs
+// it as a fail-fast gate before the test matrix.
+//
+// Usage:
+//
+//	msvet [-novet] [-analyzers] [packages]
+//
+// Findings are suppressed per line with a reasoned comment:
+//
+//	//msvet:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+
+	"masksearch/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msvet: ")
+	novet := flag.Bool("novet", false, "run only the invariant analyzers, skipping the stock `go vet` passes")
+	list := flag.Bool("analyzers", false, "list the invariant analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	ok := true
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			ok = false
+		}
+	}
+
+	fset, pkgs, err := lint.LoadPackages(".", patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diags := lint.RunAnalyzers(fset, pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

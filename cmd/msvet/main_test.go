@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"masksearch/internal/lint"
+)
+
+// buildMsvet compiles the msvet binary into a temp dir once per test.
+func buildMsvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "msvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build msvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// violations is a synthetic module named masksearch (so the
+// path-scoped analyzers fire) that compiles and passes stock go vet,
+// but trips every msvet analyzer exactly once.
+var violations = map[string]string{
+	"go.mod": "module masksearch\n\ngo 1.21\n",
+	"internal/core/filter.go": `package core
+
+import "context"
+
+type Mask struct{ B []byte }
+
+type Loader interface {
+	LoadMask(id int64) (*Mask, error)
+	ReleaseMask(m *Mask)
+}
+
+// ScanAll loads every mask without polling ctx and leaks each one.
+func ScanAll(ctx context.Context, ld Loader, ids []int64) (int, error) {
+	total := 0
+	for _, id := range ids {
+		m, err := ld.LoadMask(id)
+		if err != nil {
+			return 0, err
+		}
+		total += len(m.B)
+	}
+	return total, nil
+}
+`,
+	"internal/core/chi.go": `package core
+
+import "time"
+
+// BuildStamp reads the wall clock inside a hot kernel file.
+func BuildStamp() int64 { return time.Now().UnixNano() }
+`,
+	"internal/store/store.go": `package store
+
+import "os"
+
+// Publish moves a finished artifact into place without fsync.
+func Publish(tmp, final string) error { return os.Rename(tmp, final) }
+`,
+	"internal/serve/serve.go": `package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var errStale = errors.New("stale")
+
+func statusFor(err error) int {
+	if errors.Is(err, errStale) {
+		return http.StatusGone
+	}
+	return http.StatusInternalServerError
+}
+
+// Annotate drops the error chain with %v.
+func Annotate(err error) error { return fmt.Errorf("serve: %v", err) }
+`,
+}
+
+// TestMsvetFlagsViolatingModule is the end-to-end meta-test: the
+// built binary must exit non-zero on the synthetic module and name
+// every analyzer in its findings.
+func TestMsvetFlagsViolatingModule(t *testing.T) {
+	bin := buildMsvet(t)
+	dir := t.TempDir()
+	for name, src := range violations {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("msvet exited 0 on a violating module; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("msvet error = %v, want exit status 1; output:\n%s", err, out)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(string(out), "["+a.Name+"]") {
+			t.Errorf("no %s finding in the violating module; output:\n%s", a.Name, out)
+		}
+	}
+}
+
+// TestMsvetTreeClean asserts DESIGN.md invariant 12 in test form: the
+// invariant analyzers report nothing on this repository.
+func TestMsvetTreeClean(t *testing.T) {
+	fset, pkgs, err := lint.LoadPackages("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range lint.RunAnalyzers(fset, pkgs, lint.All()) {
+		t.Errorf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+	}
+}

@@ -279,33 +279,14 @@ func (db *DB) Close() error {
 	return ferr
 }
 
+// persistIndex publishes <db>/chi.gob via the store's atomic
+// write-fsync-rename-dirsync path, so a crash at any point leaves
+// either the old index or the new one — never a torn file the next
+// Open would silently discard. Callers (Close, checkpointIndex) are
+// mutually exclusive, which the fixed temp name relies on.
 func (db *DB) persistIndex() error {
-	tmp, err := os.CreateTemp(db.dir, store.IndexFileName+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := db.idx.Encode(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	// Sync before the rename: without it a crash right after Close can
-	// publish a torn chi.gob, which the next Open silently discards as
-	// unreadable — losing the index instead of failing loudly.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(db.dir, store.IndexFileName)); err != nil {
-		return err
-	}
-	// The rename is only crash-durable once the directory entry is
-	// fsynced too; without this a crash shortly after Close can roll
-	// the directory back to the old (or no) chi.gob.
-	return store.SyncDir(db.dir)
+	return store.AtomicWriteFile(store.DirFS(),
+		filepath.Join(db.dir, store.IndexFileName), db.idx.Encode)
 }
 
 // CheckpointIndex durably persists the CHI index to <db>/chi.gob now,
@@ -414,6 +395,18 @@ func (db *DB) LoadMask(id int64) (*Mask, error) {
 	return db.st.LoadMask(id)
 }
 
+// ReleaseMask returns a mask obtained from DB.LoadMask to the store's
+// buffer pool (or cache). Callers that load masks directly — rather
+// than through a query, which releases internally — should release
+// them when done so a steady inspection stream allocates nothing.
+// Safe on a nil mask and after Close.
+func (db *DB) ReleaseMask(m *Mask) {
+	if m == nil {
+		return
+	}
+	db.st.ReleaseMask(m)
+}
+
 // MaskDims reports the fixed pixel dimensions every mask in this
 // database has — the length DB.Append expects for AppendMask.Pixels
 // is w*h.
@@ -481,6 +474,11 @@ type DBStats struct {
 	// codec it is smaller than Index.DataBytes (the logical size), and
 	// the ratio DataBytes/StoredBytes is the compression factor.
 	StoredBytes int64
+	// GenVersion is the synthetic generator version recorded in the
+	// dataset's manifest (store.GenVersion at generation time), 0 for
+	// ingested or legacy data. Harnesses compare it against the
+	// current store.GenVersion to decide whether to regenerate.
+	GenVersion int
 }
 
 // Stats returns one coherent observability snapshot of the DB. The
@@ -495,6 +493,7 @@ func (db *DB) Stats() DBStats {
 		Ingest:      db.ws.IngestStats(),
 		Codec:       db.st.Codec(),
 		StoredBytes: db.st.StoredBytes(),
+		GenVersion:  db.st.GenVersion(),
 	}
 	s.Index, _ = db.IndexStats()
 	return s

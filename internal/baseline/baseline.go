@@ -56,6 +56,7 @@ func (e *Engine) vals(id int64, terms []core.CPTerm, st *core.Stats) ([]int64, e
 		if err != nil {
 			return nil, err
 		}
+		defer e.st.ReleaseMask(m)
 		st.Loaded++
 		for i, t := range terms {
 			out[i] = t.Eval(id, m)
@@ -65,6 +66,7 @@ func (e *Engine) vals(id int64, terms []core.CPTerm, st *core.Stats) ([]int64, e
 		if err != nil {
 			return nil, err
 		}
+		defer e.st.ReleaseMask(m)
 		st.Loaded++
 		for i, t := range terms {
 			roi := t.Region(id)
@@ -87,6 +89,10 @@ func (e *Engine) vals(id int64, terms []core.CPTerm, st *core.Stats) ([]int64, e
 				return nil, err
 			}
 			out[i] = core.ExactCP(sub, sub.Bounds(), t.Range)
+			// Region masks have their own dimensions, so the store's
+			// pool declines them today — released anyway to keep the
+			// ownership contract uniform (and pooled if that changes).
+			e.st.ReleaseMask(sub)
 		}
 		st.Loaded++
 	default:

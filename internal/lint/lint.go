@@ -1,0 +1,231 @@
+// Package lint implements the msvet analyzer suite: static checks
+// that machine-enforce the engine invariants documented in DESIGN.md
+// §"Invariants to preserve when extending" and the bug classes the
+// git history shipped and fixed by hand — leaked LoadMask buffers,
+// renames that bypass the fsync discipline, verification loops that
+// never poll their context, and errors that cross into the serving
+// layer without wrapping a mapped sentinel.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic, a multichecker driver, want-comment
+// fixtures) on the standard library's go/ast toolchain alone, because
+// this build environment carries no external modules. Analyzers are
+// purely syntactic: they resolve imported package names per file and
+// walk the AST, trading type information for zero dependencies. Each
+// analyzer documents the approximations it makes.
+//
+// A finding is suppressed with a reasoned comment on the flagged line
+// or the line above it:
+//
+//	//msvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; a bare ignore is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// An Analyzer is one named invariant check over a package's syntax
+// trees.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and ignore comments.
+	Name string
+	// Doc is the one-line description printed by msvet -analyzers.
+	Doc string
+	// Run inspects pass.Pkg and reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Package is one loaded package: its import path and parsed files.
+type Package struct {
+	// Path is the package's import path (e.g. masksearch/internal/store).
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files holds the parsed non-test Go files, parallel to Filenames.
+	Files []*ast.File
+	// Filenames holds the file paths, parallel to Files.
+	Filenames []string
+}
+
+// A Pass carries one analyzer's view of one package plus the whole
+// loaded module for the cross-package checks (errwrapserve's sentinel
+// reachability).
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// Module holds every loaded package, including Pkg. Cross-package
+	// checks must tolerate absent packages (a narrowed pattern list).
+	Module []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// All returns the msvet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MaskRelease,
+		FsyncRename,
+		CtxLoop,
+		ErrWrapServe,
+		NoWallTime,
+	}
+}
+
+// RunAnalyzers runs every analyzer over every package, applies the
+// msvet:ignore suppressions, and returns the surviving diagnostics
+// sorted by position. Malformed ignore comments (no analyzer name or
+// no reason) are reported as findings of the pseudo-analyzer
+// "msvet".
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, Module: pkgs, diags: &diags})
+		}
+	}
+	ignores, malformed := collectIgnores(fset, pkgs)
+	kept := malformed
+	for _, d := range diags {
+		if ignores.covers(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// ignoreDirective marks the ignore comment's analyzers as suppressed
+// on the comment's own line and the line below it, so the directive
+// works both trailing the flagged statement and on its own line
+// above.
+const ignoreMarker = "msvet:ignore"
+
+type ignoreSet map[string]map[int]map[string]bool // file -> line -> analyzer
+
+func (s ignoreSet) covers(file string, line int, analyzer string) bool {
+	lines := s[file]
+	return lines[line][analyzer] || lines[line-1][analyzer]
+}
+
+func (s ignoreSet) add(file string, line int, analyzer string) {
+	if s[file] == nil {
+		s[file] = map[int]map[string]bool{}
+	}
+	if s[file][line] == nil {
+		s[file][line] = map[string]bool{}
+	}
+	s[file][line][analyzer] = true
+}
+
+func collectIgnores(fset *token.FileSet, pkgs []*Package) (ignoreSet, []Diagnostic) {
+	ignores := ignoreSet{}
+	var malformed []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* "))
+					if !strings.HasPrefix(text, ignoreMarker) {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 3 {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "msvet",
+							Pos:      pos,
+							Message:  "msvet:ignore needs an analyzer name and a reason: //msvet:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					for _, name := range strings.Split(fields[1], ",") {
+						ignores.add(pos.Filename, pos.Line, name)
+					}
+				}
+			}
+		}
+	}
+	return ignores, malformed
+}
+
+// importName returns the local name importPath is referred to by in
+// file f: its alias when renamed, the path's base name when imported
+// plainly, "" when not imported at all. Syntactic approximation: the
+// default name is the import path's last element, which holds for the
+// standard library and this module.
+func importName(f *ast.File, importPath string) string {
+	for _, im := range f.Imports {
+		p, err := strconv.Unquote(im.Path.Value)
+		if err != nil || p != importPath {
+			continue
+		}
+		if im.Name != nil {
+			if im.Name.Name == "_" || im.Name.Name == "." {
+				return ""
+			}
+			return im.Name.Name
+		}
+		return path.Base(p)
+	}
+	return ""
+}
+
+// pkgSelCall reports whether call invokes pkgName.sel, where pkgName
+// is a file-local package identifier (e.g. os.Rename with pkgName
+// "os").
+func pkgSelCall(call *ast.CallExpr, pkgName, sel string) bool {
+	s, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != sel {
+		return false
+	}
+	id, ok := s.X.(*ast.Ident)
+	return ok && id.Name == pkgName
+}
+
+// calleeName returns the bare name a call invokes: the selector name
+// for x.Sel(...), the identifier name for Fn(...), "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}

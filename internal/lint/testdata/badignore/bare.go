@@ -1,0 +1,6 @@
+// A directive without a reason is itself reported (pseudo-analyzer
+// "msvet"), so suppressions stay auditable.
+package fixture
+
+//msvet:ignore maskrelease
+var placeholder = 0

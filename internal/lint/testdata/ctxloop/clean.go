@@ -1,0 +1,49 @@
+// Fixtures ctxloop must accept: loops that poll, and loops that never
+// touch storage.
+package core
+
+import "context"
+
+// CheckCtx is the poll helper stub for the fixture.
+func CheckCtx(ctx context.Context) error { return ctx.Err() }
+
+// scanPolling checks ctx.Err every iteration.
+func scanPolling(ctx context.Context, ld cloader, ids []int64) (int, error) {
+	total := 0
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		m, err := ld.LoadMask(id)
+		if err != nil {
+			return 0, err
+		}
+		total += len(m.b)
+		ld.ReleaseMask(m)
+	}
+	return total, nil
+}
+
+// scanCheckCtx polls through the shared helper.
+func scanCheckCtx(ctx context.Context, ld cloader, ids []int64) error {
+	for _, id := range ids {
+		if err := CheckCtx(ctx); err != nil {
+			return err
+		}
+		m, err := ld.LoadMask(id)
+		if err != nil {
+			return err
+		}
+		ld.ReleaseMask(m)
+	}
+	return nil
+}
+
+// sumIDs has no loads, so no poll is needed.
+func sumIDs(ids []int64) int64 {
+	var n int64
+	for _, id := range ids {
+		n += id
+	}
+	return n
+}

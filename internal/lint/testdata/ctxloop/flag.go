@@ -1,0 +1,27 @@
+// Fixtures that ctxloop must flag: verification loops that never poll
+// their context.
+package core
+
+import "context"
+
+type cmask struct{ b []byte }
+
+type cloader interface {
+	LoadMask(id int64) (*cmask, error)
+	ReleaseMask(m *cmask)
+}
+
+// scanNoPoll loads per iteration without ever polling ctx, so
+// cancellation cannot reach the verification path.
+func scanNoPoll(ctx context.Context, ld cloader, ids []int64) (int, error) {
+	total := 0
+	for _, id := range ids { // want `loop loads masks without checking ctx`
+		m, err := ld.LoadMask(id)
+		if err != nil {
+			return 0, err
+		}
+		total += len(m.b)
+		ld.ReleaseMask(m)
+	}
+	return total, nil
+}

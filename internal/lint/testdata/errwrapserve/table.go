@@ -1,0 +1,39 @@
+// statusFor-table fixtures: sentinels must be declared and produced,
+// errors.As target types must exist.
+package serve
+
+import (
+	"errors"
+	"net/http"
+)
+
+var (
+	errRejected = errors.New("rejected")
+	errStale    = errors.New("stale")
+)
+
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string { return e.msg }
+
+func statusFor(err error) int {
+	var pe *parseError
+	var qe *queryError
+	switch {
+	case errors.Is(err, errRejected):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errStale): // want `sentinel errStale is mapped in statusFor but never produced`
+		return http.StatusGone
+	case errors.As(err, &pe):
+		return http.StatusBadRequest
+	case errors.As(err, &qe): // want `errors.As target type queryError is not declared`
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// reject produces errRejected outside the table.
+func reject() error { return errRejected }
+
+// parseFail produces parseError outside the table.
+func parseFail(msg string) error { return &parseError{msg: msg} }

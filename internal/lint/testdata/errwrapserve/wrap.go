@@ -1,0 +1,29 @@
+// Wrap fixtures: fmt.Errorf carrying an error value must use %w for
+// each one, or the chain to statusFor breaks.
+package serve
+
+import (
+	"context"
+	"fmt"
+)
+
+// annotate loses the chain: %v breaks errors.Is on the way to
+// statusFor.
+func annotate(err error) error {
+	return fmt.Errorf("serve: %v", err) // want `fmt.Errorf carries err but the format has 0`
+}
+
+// annotateWrapped keeps the chain.
+func annotateWrapped(err error) error {
+	return fmt.Errorf("serve: %w", err)
+}
+
+// mixed wraps one error but drops the second.
+func mixed(err, werr error) error {
+	return fmt.Errorf("serve: %w: %v", err, werr) // want `fmt.Errorf carries err, werr but the format has 1`
+}
+
+// timeout reports cancellation without keeping the chain.
+func timeout() error {
+	return fmt.Errorf("serve: gave up: %v", context.Canceled) // want `fmt.Errorf carries context.Canceled but the format has 0`
+}

@@ -1,0 +1,13 @@
+// Fixtures fsyncrename must accept: reads and removals are not
+// write-path operations.
+package store
+
+import "os"
+
+func readState(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func removeTemp(path string) error {
+	return os.Remove(path)
+}

@@ -1,0 +1,20 @@
+// Fixtures that fsyncrename must flag: raw os write-path calls in a
+// persistence package.
+package store
+
+import "os"
+
+// publish bypasses the atomic write-fsync-rename-dirsync discipline.
+func publish(tmp, final string) error {
+	return os.Rename(tmp, final) // want `raw os.Rename bypasses`
+}
+
+// saveState writes a persistent artifact without fsync or rename.
+func saveState(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `raw os.WriteFile bypasses`
+}
+
+// openArtifact truncates in place, so a crash mid-write tears the file.
+func openArtifact(path string) (*os.File, error) {
+	return os.Create(path) // want `raw os.Create bypasses`
+}

@@ -1,0 +1,9 @@
+// A reasoned msvet:ignore silences a real finding.
+package store
+
+import "os"
+
+func publishSuppressed(tmp, final string) error {
+	//msvet:ignore fsyncrename fixture for the documented escape hatch
+	return os.Rename(tmp, final)
+}

@@ -1,0 +1,74 @@
+// Fixtures maskrelease must accept: every sanctioned way a mask's
+// ownership is discharged.
+package fixture
+
+import "log"
+
+type recycler interface {
+	ReleaseMask(m *mask)
+}
+
+type cacheBox struct{ m *mask }
+
+// deferRelease releases on every path through defer; the deferred
+// argument is evaluated at defer time, so the rebind below does not
+// change what the store gets back (the msinspect pattern).
+func deferRelease(ld loader, id int64) int {
+	m, err := ld.LoadMask(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ld.ReleaseMask(m)
+	m = decoded(m)
+	return len(m.b)
+}
+
+func decoded(m *mask) *mask { return m }
+
+// recyclerIdiom releases through the sanctioned capability probe; the
+// optimistic branch merge must not resurrect the mask from the
+// probe-failed arm.
+func recyclerIdiom(ld loader, id int64) (int, error) {
+	m, err := ld.LoadMask(id)
+	if err != nil {
+		return 0, err
+	}
+	n := len(m.b)
+	if r, ok := ld.(recycler); ok {
+		r.ReleaseMask(m)
+	}
+	return n, nil
+}
+
+// returned masks escape to the caller, who owns them.
+func returned(ld loader, id int64) (*mask, error) {
+	m, err := ld.LoadMask(id)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// pinned masks escape into a struct-field owner.
+func pinned(ld loader, id int64, box *cacheBox) error {
+	m, err := ld.LoadMask(id)
+	if err != nil {
+		return err
+	}
+	box.m = m
+	return nil
+}
+
+// releaseInLoop discharges each iteration's mask inside the body.
+func releaseInLoop(ld loader, ids []int64) int {
+	total := 0
+	for _, id := range ids {
+		m, err := ld.LoadMask(id)
+		if err != nil {
+			continue
+		}
+		total += len(m.b)
+		ld.ReleaseMask(m)
+	}
+	return total
+}

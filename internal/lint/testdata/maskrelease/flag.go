@@ -1,0 +1,48 @@
+// Fixtures that maskrelease must flag. Parsed, never compiled: the
+// stub types stand in for core.Mask and the store interfaces.
+package fixture
+
+type mask struct{ b []byte }
+
+type loader interface {
+	LoadMask(id int64) (*mask, error)
+	ReleaseMask(m *mask)
+}
+
+// leakAtEnd never releases the mask.
+func leakAtEnd(ld loader, id int64) int {
+	m, err := ld.LoadMask(id) // want `not released on every path`
+	if err != nil {
+		return 0
+	}
+	return len(m.b)
+}
+
+// leakOnEarlyReturn releases on the happy path but not on the early
+// bailout, which is exactly the path-sensitive case.
+func leakOnEarlyReturn(ld loader, id int64, bad bool) int {
+	m, err := ld.LoadMask(id) // want `not released on every path`
+	if err != nil {
+		return 0
+	}
+	if bad {
+		return -1
+	}
+	n := len(m.b)
+	ld.ReleaseMask(m)
+	return n
+}
+
+// leakInLoop loads per iteration without releasing before the body
+// ends, so the leak repeats every iteration.
+func leakInLoop(ld loader, ids []int64) int {
+	total := 0
+	for _, id := range ids {
+		m, err := ld.LoadMask(id) // want `not released on every path`
+		if err != nil {
+			continue
+		}
+		total += len(m.b)
+	}
+	return total
+}

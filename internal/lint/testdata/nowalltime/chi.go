@@ -1,0 +1,9 @@
+// A hot kernel file (by name) reading the wall clock: flagged.
+package core
+
+import "time"
+
+// buildStamp reads the wall clock inside a hot kernel file.
+func buildStamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock timing belongs at the executor boundary`
+}

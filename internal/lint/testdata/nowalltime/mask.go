@@ -1,0 +1,9 @@
+// A hot kernel file with a reasoned exemption.
+package core
+
+import "time"
+
+// debugStamp documents its exemption.
+func debugStamp() int64 {
+	return time.Now().UnixNano() //msvet:ignore nowalltime debug-only path, stripped from release builds
+}

@@ -195,6 +195,7 @@ func (ff *FaultFS) Create(path string) (FileW, error) {
 	if b, err := os.ReadFile(path); err == nil {
 		saved = b
 	}
+	//msvet:ignore fsyncrename FaultFS wraps the raw OS layer to simulate it failing
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
@@ -211,6 +212,7 @@ func (ff *FaultFS) OpenAppend(path string) (FileW, error) {
 	if err := ff.step(); err != nil {
 		return nil, err
 	}
+	//msvet:ignore fsyncrename FaultFS wraps the raw OS layer to simulate it failing
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -244,6 +246,7 @@ func (ff *FaultFS) Rename(oldpath, newpath string) error {
 	if err != nil {
 		return err
 	}
+	//msvet:ignore fsyncrename FaultFS wraps the raw OS layer to simulate it failing
 	if err := os.Rename(oldpath, newpath); err != nil {
 		return err
 	}
@@ -409,18 +412,22 @@ func (ff *FaultFS) materializeLocked() {
 			os.RemoveAll(op.path)
 		case uCreate:
 			if op.savedNew != nil {
+				//msvet:ignore fsyncrename crash-state restore rewinds files directly, durability is out of scope
 				os.WriteFile(op.path, op.savedNew, 0o644)
 			} else {
 				os.Remove(op.path)
 			}
 		case uRename:
+			//msvet:ignore fsyncrename crash-state restore rewinds files directly, durability is out of scope
 			os.WriteFile(op.oldpath, op.savedMoved, 0o644)
 			if op.savedNew != nil {
+				//msvet:ignore fsyncrename crash-state restore rewinds files directly, durability is out of scope
 				os.WriteFile(op.path, op.savedNew, 0o644)
 			} else {
 				os.Remove(op.path)
 			}
 		case uRemove:
+			//msvet:ignore fsyncrename crash-state restore rewinds files directly, durability is out of scope
 			os.WriteFile(op.path, op.savedMoved, 0o644)
 		}
 	}

@@ -51,12 +51,15 @@ type osFS struct{}
 
 func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
 
+//msvet:ignore fsyncrename osFS is the FS implementation the discipline is built on
 func (osFS) Create(path string) (FileW, error) { return os.Create(path) }
 
 func (osFS) OpenAppend(path string) (FileW, error) {
+	//msvet:ignore fsyncrename osFS is the FS implementation the discipline is built on
 	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
+//msvet:ignore fsyncrename osFS is the FS implementation the discipline is built on
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 
 func (osFS) Remove(path string) error { return os.Remove(path) }
@@ -82,6 +85,42 @@ func SyncDir(path string) error {
 		err = cerr
 	}
 	return err
+}
+
+// AtomicWriteFile publishes a persistent artifact at path with the
+// full write-fsync-rename-dirsync discipline: write streams the
+// content into path+".tmp", which is fsynced, closed, renamed over
+// path, and made durable by fsyncing the parent directory. Concurrent
+// writers to the same path must be serialized by the caller (the
+// fixed .tmp name is deliberate — it keeps crash-simulation state
+// deterministic). No cleanup runs on error paths: FaultFS crash
+// points must observe exactly the state a real crash would leave, and
+// a stray .tmp is simply overwritten by the next writer.
+func AtomicWriteFile(fsys FS, path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	// Sync before the rename: without it a crash right after the
+	// rename can publish a torn artifact under the final name.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The rename is only crash-durable once the directory entry is
+	// fsynced too.
+	return fsys.SyncDir(dirOf(path))
 }
 
 // writeFileSync writes path atomically through fsys: content lands in

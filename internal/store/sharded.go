@@ -27,6 +27,9 @@ import (
 type ShardedStore struct {
 	dir   string
 	codec string
+	// genVersion is the top-level Manifest.GenVersion, 0 for
+	// ingested/legacy data.
+	genVersion int
 
 	mu       sync.RWMutex
 	shards   []*Store
@@ -58,7 +61,7 @@ func OpenSharded(dir string) (*ShardedStore, *Catalog, error) {
 	if !validCodec(man.Codec) {
 		return nil, nil, fmt.Errorf("store: open %s: unknown codec %q", dir, man.Codec)
 	}
-	ss := &ShardedStore{dir: dir, codec: man.Codec, pool: &sync.Pool{}}
+	ss := &ShardedStore{dir: dir, codec: man.Codec, genVersion: man.GenVersion, pool: &sync.Pool{}}
 	var entries []Entry
 	wantFirst := int64(1)
 	for _, info := range man.Shards {
@@ -122,6 +125,10 @@ func (ss *ShardedStore) DataBytes() int64 {
 
 // Codec returns the on-disk pixel encoding shared by every shard.
 func (ss *ShardedStore) Codec() string { return ss.codec }
+
+// GenVersion reports the generator version from the top-level
+// manifest (0 for ingested/legacy data).
+func (ss *ShardedStore) GenVersion() int { return ss.genVersion }
 
 // StoredBytes returns the on-disk mask data size summed over shards.
 func (ss *ShardedStore) StoredBytes() int64 {

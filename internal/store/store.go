@@ -142,6 +142,9 @@ type MaskStore interface {
 	// the raw codec, the compressed stream size for RLE. The ratio
 	// DataBytes/StoredBytes is the compression ratio.
 	StoredBytes() int64
+	// GenVersion reports the synthetic generator version recorded in
+	// the manifest (Manifest.GenVersion), 0 for ingested/legacy data.
+	GenVersion() int
 	Dir() string
 	Close() error
 	SetCacheBytes(n int64)
@@ -172,6 +175,8 @@ type Store struct {
 	w, h int
 	// codec is the pixel encoding of f (CodecRaw or CodecRLE).
 	codec string
+	// genVersion is Manifest.GenVersion, 0 for ingested/legacy data.
+	genVersion int
 	// offsets, for the RLE codec, points at the immutable offset
 	// column: numMasks+1 entries, mask (base+i)'s stream at
 	// [offsets[i-1], offsets[i]) in f. Compaction publishes a new
@@ -251,9 +256,10 @@ func Open(dir string) (*Store, *Catalog, error) {
 	spec := man.Spec.withDefaults()
 	s := &Store{
 		dir: dir, f: f, w: spec.W, h: spec.H,
-		codec:    man.Codec,
-		base:     max(0, man.FirstID-1),
-		maskPool: &sync.Pool{},
+		codec:      man.Codec,
+		genVersion: man.GenVersion,
+		base:       max(0, man.FirstID-1),
+		maskPool:   &sync.Pool{},
 	}
 	// Fail fast on a truncated or corrupted mask file: without this
 	// check a short pixel file only surfaces mid-query as a confusing
@@ -342,6 +348,10 @@ func (s *Store) DataBytes() int64 { return s.numMasks.Load() * int64(s.w) * int6
 
 // Codec returns the on-disk pixel encoding.
 func (s *Store) Codec() string { return s.codec }
+
+// GenVersion reports the generator version from the manifest (0 for
+// ingested/legacy data).
+func (s *Store) GenVersion() int { return s.genVersion }
 
 // StoredBytes returns the on-disk size of the mask data.
 func (s *Store) StoredBytes() int64 {
@@ -694,10 +704,13 @@ func readJSON(path string, v any) error {
 	return json.Unmarshal(b, v)
 }
 
+// writeJSON writes v without durability guarantees; only the bulk
+// generation path uses it (ingestion goes through writeJSONSync).
 func writeJSON(path string, v any) error {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
+	//msvet:ignore fsyncrename bulk generation is not crash-safe by contract; a partial dataset is regenerated
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

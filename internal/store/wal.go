@@ -1101,6 +1101,10 @@ func (ws *WALStore) DataBytes() int64 {
 // always raw in their segments; Compact folds them into the codec.
 func (ws *WALStore) Codec() string { return ws.base.Codec() }
 
+// GenVersion reports the base layout's generator version; compaction
+// never changes it, so the base's immutable value is authoritative.
+func (ws *WALStore) GenVersion() int { return ws.base.GenVersion() }
+
 // StoredBytes returns the base layout's on-disk mask data size. WAL
 // segment bytes are reported separately via IngestStats.WALBytes.
 func (ws *WALStore) StoredBytes() int64 { return ws.base.StoredBytes() }
