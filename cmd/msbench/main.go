@@ -28,7 +28,11 @@
 // the admission bound asserted; always writes BENCH_serve.json),
 // compress (raw vs run-length-encoded storage: footprint, index
 // build, load latency and the query families, byte-identical results
-// asserted across codecs; always writes BENCH_compress.json), all.
+// asserted across codecs; always writes BENCH_compress.json), dist
+// (scatter-gather through in-process remote shard nodes on loopback
+// TCP: throughput, τ-exchange effectiveness vs a no-exchange baseline
+// and lossless replica failover, byte-identical results asserted;
+// always writes BENCH_dist.json), all.
 //
 // -workers sizes the engine worker pool for the figure experiments
 // (default 1, the sequential engine, so their masks-loaded/FML tables
@@ -62,7 +66,7 @@ func main() {
 
 	var (
 		dataDir = flag.String("data", "data", "directory for generated datasets")
-		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|prepare|serve|compress|all")
+		exp     = flag.String("exp", "all", "experiment: fig7|fig8|fig9|fig10|fig11|size|ablation|edges|sweep|engine|multiquery|shard|prepare|serve|compress|dist|all")
 		dataset = flag.String("dataset", "both", "dataset: wilds-sim|imagenet-sim|both")
 		queries = flag.Int("queries", 0, "override query count for fig8/fig9/ablation/sweep")
 		wqs     = flag.Int("workload-queries", 0, "override workload length for fig11")
@@ -73,7 +77,7 @@ func main() {
 	)
 	flag.Parse()
 
-	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "prepare", "serve", "compress", "all"}
+	validExps := []string{"fig7", "fig8", "fig9", "fig10", "fig11", "size", "ablation", "edges", "sweep", "engine", "multiquery", "shard", "prepare", "serve", "compress", "dist", "all"}
 	if !slices.Contains(validExps, *exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *exp, strings.Join(validExps, ", "))
 		os.Exit(2)
@@ -125,6 +129,7 @@ func main() {
 	var prepRows []bench.PrepareRow
 	var serveRows []bench.ServeRow
 	var compRows []bench.CompressRow
+	var distRows []bench.DistRow
 	run := func(name string, f func(d *bench.DatasetEnv) (fmt.Stringer, error)) {
 		for _, d := range envs {
 			log.Printf("running %s on %s", name, d.Params.Name)
@@ -151,6 +156,8 @@ func main() {
 				serveRows = append(serveRows, er.Rows...)
 			case *bench.CompressReport:
 				compRows = append(compRows, er.Rows...)
+			case *bench.DistReport:
+				distRows = append(distRows, er.Rows...)
 			default:
 				rows = append(rows, bench.EngineRow{
 					Exp: name, Dataset: d.Params.Name, Mode: "report", Queries: 1,
@@ -240,6 +247,18 @@ func main() {
 			return bench.Compress(ctx, d, *dataDir, max(1, cfg.NQueries/5), cfg.Seed)
 		})
 	}
+	if want("dist") {
+		// The shard nodes run under the same simulated disk flag; with
+		// no -throttle-mibps the experiment defaults to the paper's
+		// 125 MiB/s so the τ exchange has an I/O cost to save.
+		var thr store.Throttle
+		if *mibps > 0 {
+			thr = store.Throttle{BytesPerSec: *mibps * (1 << 20)}
+		}
+		run("dist", func(d *bench.DatasetEnv) (fmt.Stringer, error) {
+			return bench.Dist(ctx, d, *dataDir, thr, max(1, cfg.NQueries/5), cfg.Seed)
+		})
+	}
 	if len(mqRows) > 0 {
 		writeJSON("BENCH_multiquery.json", *workers, mqRows)
 	}
@@ -254,6 +273,9 @@ func main() {
 	}
 	if len(compRows) > 0 {
 		writeJSON("BENCH_compress.json", *workers, compRows)
+	}
+	if len(distRows) > 0 {
+		writeJSON("BENCH_dist.json", *workers, distRows)
 	}
 	if *jsonOut {
 		writeJSON("BENCH_engine.json", *workers, rows)

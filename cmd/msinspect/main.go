@@ -9,6 +9,7 @@
 //	msinspect -db data/wilds-sim -mask 17             # one mask, rendered
 //	msinspect -db data/wilds-sim -mask 17 -lo 0.6     # plus CHI bounds
 //	msinspect -db data/wilds-sim -rows -offset 100 -limit 20 -header
+//	msinspect -topology nodes.json                    # distributed cluster health
 //
 // -rows dumps the catalog as TSV, one mask per line, in id order —
 // including masks still WAL-resident after online ingestion, whose
@@ -20,13 +21,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"masksearch"
+	"masksearch/internal/dist"
 )
 
 func main() {
@@ -34,17 +38,24 @@ func main() {
 	log.SetPrefix("msinspect: ")
 
 	var (
-		dbDir  = flag.String("db", "", "database directory (required)")
-		maskID = flag.Int64("mask", 0, "inspect one mask id (0 = dataset summary)")
-		lo     = flag.Float64("lo", 0.6, "value-range lower bound for CHI bound check")
-		hi     = flag.Float64("hi", 1.0, "value-range upper bound for CHI bound check")
-		width  = flag.Int("render-width", 48, "ASCII rendering width in characters")
-		rows   = flag.Bool("rows", false, "dump catalog rows as TSV instead of the summary")
-		offset = flag.Int("offset", 0, "-rows: skip this many rows (negative = usage error)")
-		limit  = flag.Int("limit", -1, "-rows: print at most this many rows (negative = all)")
-		header = flag.Bool("header", false, "-rows: print a column-name header line first")
+		dbDir    = flag.String("db", "", "database directory (required)")
+		maskID   = flag.Int64("mask", 0, "inspect one mask id (0 = dataset summary)")
+		lo       = flag.Float64("lo", 0.6, "value-range lower bound for CHI bound check")
+		hi       = flag.Float64("hi", 1.0, "value-range upper bound for CHI bound check")
+		width    = flag.Int("render-width", 48, "ASCII rendering width in characters")
+		rows     = flag.Bool("rows", false, "dump catalog rows as TSV instead of the summary")
+		offset   = flag.Int("offset", 0, "-rows: skip this many rows (negative = usage error)")
+		limit    = flag.Int("limit", -1, "-rows: print at most this many rows (negative = all)")
+		header   = flag.Bool("header", false, "-rows: print a column-name header line first")
+		topology = flag.String("topology", "", "probe the nodes of this topology file and print cluster health")
+		probeTO  = flag.Duration("probe-timeout", 2*time.Second, "-topology: per-node probe timeout")
 	)
 	flag.Parse()
+	if *topology != "" {
+		// Cluster health needs no local database: every fact comes from
+		// the topology file and the nodes' own hello responses.
+		os.Exit(inspectTopology(*topology, *probeTO))
+	}
 	if *dbDir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -87,6 +98,68 @@ func main() {
 		return
 	}
 	inspectMask(db, *maskID, *lo, *hi, *width)
+}
+
+// inspectTopology probes every node of a topology file and prints
+// cluster health: per-node liveness with the dataset each live node
+// opened, then per-shard routing with primary/replica roles. Exit
+// status 0 when every node answered, 1 otherwise — scripts can gate a
+// rollout on it.
+func inspectTopology(path string, timeout time.Duration) int {
+	topo, err := dist.LoadTopology(path)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	health := dist.ProbeNodes(context.Background(), topo, timeout)
+	up := make(map[string]bool, len(health))
+	fmt.Printf("topology %s: %d node(s), %d shard route(s)\n\nnodes:\n", path, len(topo.Nodes), len(topo.Shards))
+	dead := 0
+	for _, h := range health {
+		if h.Err != nil {
+			dead++
+			fmt.Printf("  %-12s %-21s DOWN  %v\n", h.Node.Name, h.Node.Addr, h.Err)
+			continue
+		}
+		up[h.Node.Name] = true
+		codec := h.Res.Codec
+		if codec == "" {
+			codec = "raw"
+		}
+		fmt.Printf("  %-12s %-21s up    %d masks %dx%d, %d shard(s), codec %s, boot %s\n",
+			h.Node.Name, h.Node.Addr, h.Res.NumMasks, h.Res.MaskW, h.Res.MaskH, h.Res.Shards, codec, h.Res.BootID)
+	}
+	fmt.Printf("\nshard routes (first = primary):\n")
+	for _, r := range topo.Shards {
+		var parts []string
+		for i, name := range r.Nodes {
+			role := "replica"
+			if i == 0 {
+				role = "primary"
+			}
+			state := "up"
+			if !up[name] {
+				state = "DOWN"
+			}
+			parts = append(parts, fmt.Sprintf("%s (%s, %s)", name, role, state))
+		}
+		live := 0
+		for _, name := range r.Nodes {
+			if up[name] {
+				live++
+			}
+		}
+		warn := ""
+		if live == 0 {
+			warn = "  <- NO LIVE ROUTE"
+		}
+		fmt.Printf("  shard %3d: %s%s\n", r.Shard, strings.Join(parts, ", "), warn)
+	}
+	if dead > 0 {
+		fmt.Printf("\n%d of %d node(s) down\n", dead, len(topo.Nodes))
+		return 1
+	}
+	return 0
 }
 
 // dumpRows prints catalog rows as TSV in id order: the metadata the

@@ -7,6 +7,7 @@
 //
 //	msserve -db data/wilds-sim -addr :8080
 //	msserve -db data/wilds-sim -addr :8080 -max-inflight 16 -queue 64 -cache-bytes -1
+//	msserve -db data/wilds-sim -addr :8080 -topology nodes.json    # distributed coordinator
 //
 // Endpoints (see DESIGN.md "Serving" for the request/response shapes):
 //
@@ -64,6 +65,10 @@ func main() {
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		compactEv  = flag.Duration("compact-every", 0, "fold the WAL into the base layout on this interval (0 = only on POST /compact)")
 		indexEvery = flag.Int("index-every", 0, "checkpoint the CHI index to disk every N acknowledged ingest batches (0 = only at compact/shutdown)")
+		topology   = flag.String("topology", "", "topology file: execute queries through remote msshard nodes (distributed coordinator)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "distributed: hedge a shard request to its replica after this delay (0 = adaptive p95, negative = off)")
+		distRetry  = flag.Int("dist-retries", 0, "distributed: extra failover passes over a shard's route (0 = default 1, negative = off)")
+		noTau      = flag.Bool("no-tau-exchange", false, "distributed: disable pushing the global top-k threshold to shard nodes (baseline mode)")
 	)
 	flag.Parse()
 	if *dbDir == "" {
@@ -77,9 +82,18 @@ func main() {
 		Workers:             *workers,
 		CacheBytes:          *cacheB,
 		PlanCacheEntries:    *planCache,
+		TopologyFile:        *topology,
+		Dist: masksearch.DistOptions{
+			HedgeAfter:    *hedgeAfter,
+			Retries:       *distRetry,
+			NoTauExchange: *noTau,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if db.Distributed() {
+		log.Printf("distributed: executing through topology %s", *topology)
 	}
 
 	srv := serve.New(db, serve.Config{

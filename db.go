@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"masksearch/internal/core"
+	"masksearch/internal/dist"
 	"masksearch/internal/store"
 )
 
@@ -67,6 +68,19 @@ type Options struct {
 	// Prepare. 0 (the default) uses DefaultPlanCacheEntries; -1
 	// disables the cache; OpenWith rejects anything below -1.
 	PlanCacheEntries int
+	// TopologyFile, when set, opens the DB as a distributed
+	// coordinator: a JSON cluster topology (see internal/dist) names
+	// the msshard nodes serving each storage shard, and every
+	// mask-touching query stage is scattered to them instead of
+	// reading local mask data. Results are byte-identical to local
+	// execution unless a query opts into degraded results and a shard
+	// is missing. A distributed DB rejects Append (remote nodes cannot
+	// see this process's WAL tail) and refuses to open over a dataset
+	// with uncompacted WAL masks.
+	TopologyFile string
+	// Dist tunes the distributed coordinator (hedging, retries,
+	// τ-exchange); ignored without TopologyFile.
+	Dist DistOptions
 }
 
 // DefaultPlanCacheEntries is the plan-template cache capacity used
@@ -121,6 +135,9 @@ type DB struct {
 	// itself, or a wrapper that re-exposes the base's shard topology so
 	// the engine keeps its per-shard work affinity.
 	loader core.MaskLoader
+	// coord scatter-gathers query stages to remote shard nodes when
+	// Options.TopologyFile is set; nil for a local DB.
+	coord *dist.Coordinator
 
 	dirty atomic.Bool // index changed since open
 
@@ -227,6 +244,12 @@ func openWith(dir string, opts Options, fsys store.FS) (*DB, error) {
 			db.dirty.Store(true)
 		}
 	}
+	if opts.TopologyFile != "" {
+		if err := db.openCoordinator(opts.TopologyFile); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	return db, nil
 }
 
@@ -272,6 +295,11 @@ func (db *DB) Close() error {
 	var ferr error
 	if db.opts.PersistIndexOnClose && db.dirty.Load() {
 		ferr = db.persistIndex()
+	}
+	if db.coord != nil {
+		if err := db.coord.Close(); err != nil && ferr == nil {
+			ferr = err
+		}
 	}
 	if err := db.st.Close(); err != nil && ferr == nil {
 		ferr = err
@@ -414,8 +442,18 @@ func (db *DB) MaskDims() (w, h int) { return db.st.MaskW(), db.st.MaskH() }
 
 // ReadStats reports the store's read counters — disk traffic plus the
 // mask cache's hit/miss/evicted counts — accumulated since open. For
-// a sharded database these are the per-shard counters aggregated.
-func (db *DB) ReadStats() ReadStats { return db.st.Stats() }
+// a sharded database these are the per-shard counters aggregated; on a
+// distributed DB the read work remote nodes did on this DB's behalf is
+// included.
+func (db *DB) ReadStats() ReadStats {
+	s := db.st.Stats()
+	if db.coord != nil {
+		for _, r := range db.coord.RemoteShardStats() {
+			addReadStats(&s, r)
+		}
+	}
+	return s
+}
 
 // Codec reports the storage codec of the base mask layout: CodecRaw
 // ("") for plain bytes, CodecRLE ("rle") for the run-length-encoded
@@ -440,12 +478,25 @@ func (db *DB) Shards() int {
 
 // ShardReadStats reports each shard's read counters since open. For a
 // single-segment database it returns one entry equal to ReadStats, so
-// callers can render the per-shard split unconditionally.
+// callers can render the per-shard split unconditionally. On a
+// distributed DB each shard's entry sums the local counters with the
+// reads remote nodes performed for that shard on this DB's behalf —
+// remote work aggregates exactly like local per-shard work.
 func (db *DB) ShardReadStats() []ReadStats {
+	var out []ReadStats
 	if ss, ok := db.ws.Base().(*store.ShardedStore); ok {
-		return ss.ShardStats()
+		out = ss.ShardStats()
+	} else {
+		out = []ReadStats{db.st.Stats()}
 	}
-	return []ReadStats{db.st.Stats()}
+	if db.coord != nil {
+		for s, r := range db.coord.RemoteShardStats() {
+			if s < len(out) {
+				addReadStats(&out[s], r)
+			}
+		}
+	}
+	return out
 }
 
 // DBStats is the unified observability snapshot of one DB: storage
@@ -479,6 +530,9 @@ type DBStats struct {
 	// ingested or legacy data. Harnesses compare it against the
 	// current store.GenVersion to decide whether to regenerate.
 	GenVersion int
+	// Dist holds the coordinator's counters on a distributed DB, nil on
+	// a local one.
+	Dist *DistStats
 }
 
 // Stats returns one coherent observability snapshot of the DB. The
@@ -486,7 +540,7 @@ type DBStats struct {
 // treat cross-field arithmetic as approximate under concurrent load.
 func (db *DB) Stats() DBStats {
 	s := DBStats{
-		Reads:       db.st.Stats(),
+		Reads:       db.ReadStats(),
 		ShardReads:  db.ShardReadStats(),
 		Shards:      db.Shards(),
 		PlanCache:   db.plans.stats(),
@@ -496,6 +550,10 @@ func (db *DB) Stats() DBStats {
 		GenVersion:  db.st.GenVersion(),
 	}
 	s.Index, _ = db.IndexStats()
+	if db.coord != nil {
+		ds := db.coord.Stats()
+		s.Dist = &ds
+	}
 	return s
 }
 
@@ -526,6 +584,12 @@ func (db *DB) Append(ctx context.Context, masks []AppendMask) ([]int64, error) {
 		return nil, err
 	}
 	defer db.endOp()
+	if db.coord != nil {
+		// Appended masks would live in this process's WAL tail, which
+		// the remote shard nodes (each opening their own copy of the
+		// dataset) cannot see — every query would silently miss them.
+		return nil, fmt.Errorf("masksearch: Append is not available on a distributed DB: remote shard nodes cannot see this process's WAL tail; ingest locally and redistribute the dataset")
+	}
 	in := make([]store.IngestMask, len(masks))
 	for i, m := range masks {
 		in[i] = store.IngestMask{
@@ -613,6 +677,16 @@ type Result struct {
 	// Ranked holds topk/aggregation results, best first. For
 	// aggregations the ID is the group key.
 	Ranked []Scored
+	// Degraded is set only on a distributed DB when the query opted in
+	// with WithDegradedResults AND at least one shard was unreachable:
+	// the answer excludes that shard's masks. It is never set silently —
+	// without the opt-in the same condition fails the query with
+	// ErrShardUnavailable. Results that are not flagged degraded are
+	// byte-identical to local execution.
+	Degraded bool
+	// MissingShards lists the shard indexes excluded from a Degraded
+	// answer (nil otherwise).
+	MissingShards []int
 }
 
 // setEmpty materializes the empty result in the field matching Kind,
@@ -757,6 +831,22 @@ func (db *DB) run(ctx context.Context, p *plan, qo queryOptions) (*Result, error
 		res.setEmpty()
 		return res, nil
 	}
+	if db.coord != nil {
+		if err := db.checkDistOpts(qo); err != nil {
+			return nil, err
+		}
+		if p.kind == planFilter && len(p.filterTerms) == 0 {
+			// Metadata-only predicate: the catalog already answered it
+			// locally; nothing to ship.
+			res.IDs = targets
+			res.Stats.Targets = len(targets)
+			if p.k > 0 && len(res.IDs) > p.k {
+				res.IDs = res.IDs[:p.k]
+			}
+			return res, nil
+		}
+		return db.runDist(ctx, p, qo, res, targets, view, nConsidered)
+	}
 	if qo.eagerBounds {
 		if err := db.ensureBounds(ctx, env, targets); err != nil {
 			return nil, err
@@ -836,6 +926,12 @@ func (db *DB) stream(ctx context.Context, p *plan, qo queryOptions, yield func(R
 	if p.k == 0 {
 		return
 	}
+	if db.coord != nil {
+		if err := db.checkDistOpts(qo); err != nil {
+			yield(Row{}, err)
+			return
+		}
+	}
 	// Same snapshot isolation as run: the streamed id space is pinned.
 	targets := db.cat.View().MaskIDs(p.keep)
 	if qo.eagerBounds {
@@ -843,6 +939,22 @@ func (db *DB) stream(ctx context.Context, p *plan, qo queryOptions, yield func(R
 			yield(Row{}, err)
 			return
 		}
+	}
+	if p.kind == planFilter && db.coord != nil && len(p.filterTerms) > 0 {
+		// Distributed filter: the chunked early-exit scan is a local
+		// I/O-ordering trick that does not cross the wire — compute the
+		// full scatter-gathered answer and stream it.
+		res, err := db.run(ctx, p, qo)
+		if err != nil {
+			yield(Row{}, err)
+			return
+		}
+		for _, id := range res.IDs {
+			if !yield(Row{ID: id}, nil) {
+				return
+			}
+		}
+		return
 	}
 	if p.kind == planFilter {
 		if len(p.filterTerms) == 0 {

@@ -1,0 +1,176 @@
+package masksearch
+
+import (
+	"context"
+	"fmt"
+
+	"masksearch/internal/dist"
+	"masksearch/internal/store"
+)
+
+// Distributed execution. A DB opened with Options.TopologyFile becomes
+// a coordinator: metadata planning, target selection and static
+// pruning stay local (the catalog and CHI index are cheap), while the
+// mask-touching stages — filter decisions, candidate bounds, exact
+// verification — ship to the shard nodes named in the topology.
+// Results are byte-identical to local execution unless the query opts
+// into degraded results (WithDegradedResults) AND a shard actually
+// went missing, in which case the Result is flagged.
+
+// DistOptions tunes the coordinator: hedging delay, retry passes,
+// τ-exchange, dial timeout. The zero value hedges adaptively at the
+// observed p95 and retries each shard's route once.
+type DistOptions = dist.CoordOptions
+
+// DistStats snapshots the coordinator's counters: requests, hedges,
+// retries, failovers, τ pushes, degraded queries and protocol bytes.
+type DistStats = dist.CoordStats
+
+// ErrShardUnavailable is returned (wrapped) by queries on a
+// distributed DB when some shard's every route — primary, replicas and
+// retry passes — failed and the query did not opt into degraded
+// results. Servers should surface it as 503, not 500: the query was
+// valid, the cluster was not.
+var ErrShardUnavailable = dist.ErrShardUnavailable
+
+// openCoordinator wires a freshly opened DB to its remote shard nodes.
+// Distributed opens reject a non-empty WAL tail: tail masks live only
+// in this process's memory and the remote nodes (which open their own
+// copy of the dataset) cannot see them, so serving would silently drop
+// them from every answer. Compact the dataset first.
+func (db *DB) openCoordinator(path string) error {
+	if tail := db.ws.IngestStats().TailMasks; tail > 0 {
+		return fmt.Errorf("masksearch: cannot open %s distributed: %d WAL-tail mask(s) are not visible to remote nodes; run Compact (or msinspect -compact) first", db.dir, tail)
+	}
+	topo, err := dist.LoadTopology(path)
+	if err != nil {
+		return err
+	}
+	shards, shardOf := 1, func(int64) int { return 0 }
+	if ss, ok := db.ws.Base().(*store.ShardedStore); ok {
+		shards, shardOf = ss.NumShards(), ss.ShardOf
+	}
+	expect := dist.Expect{
+		NumMasks: db.st.NumMasks(), MaskW: db.st.MaskW(), MaskH: db.st.MaskH(),
+		Shards: shards, Codec: db.st.Codec(), GenVersion: db.st.GenVersion(),
+	}
+	coord, err := dist.NewCoordinator(topo, expect, shardOf, db.opts.Dist)
+	if err != nil {
+		return err
+	}
+	db.coord = coord
+	return nil
+}
+
+// Distributed reports whether this DB executes through remote shard
+// nodes (Options.TopologyFile was set).
+func (db *DB) Distributed() bool { return db.coord != nil }
+
+// DistStats snapshots the coordinator's counters; the zero value on a
+// local DB.
+func (db *DB) DistStats() DistStats {
+	if db.coord == nil {
+		return DistStats{}
+	}
+	return db.coord.Stats()
+}
+
+// RemoteShardStats reports the per-shard read work remote nodes did on
+// this DB's behalf, folded exactly from their cumulative counters (nil
+// on a local DB). DB.Stats and DB.ShardReadStats already include these.
+func (db *DB) RemoteShardStats() []ReadStats {
+	if db.coord == nil {
+		return nil
+	}
+	return db.coord.RemoteShardStats()
+}
+
+// addReadStats sums b into a field by field.
+func addReadStats(a *ReadStats, b ReadStats) {
+	a.MasksLoaded += b.MasksLoaded
+	a.RegionReads += b.RegionReads
+	a.BytesRead += b.BytesRead
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	a.CacheEvicted += b.CacheEvicted
+	a.TailLoads += b.TailLoads
+}
+
+// runDist executes a bound plan through the coordinator. The plan's
+// metadata work already happened in run (snapshot, target selection,
+// LIMIT 0, metadata-only fast path); this covers every mask-touching
+// stage. Mirrors run's local dispatch stage by stage, so results are
+// byte-identical to local execution; only Stats load counts may differ
+// (they depend on τ-update timing, like Options.Workers locally).
+func (db *DB) runDist(ctx context.Context, p *plan, qo queryOptions, res *Result, targets []int64, view store.CatalogView, nConsidered int) (*Result, error) {
+	var part *dist.Partial
+	if qo.degradedOK {
+		part = db.coord.NewPartial()
+	}
+
+	// A WHERE clause with CP predicates in front of a ranking plan runs
+	// as a remote filter stage first.
+	prefiltered := false
+	if p.kind != planFilter && len(p.filterTerms) > 0 {
+		ids, st, err := db.coord.Filter(ctx, targets, p.filterTerms, p.pred, part)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Merge(st)
+		targets = ids
+		prefiltered = true
+	}
+
+	switch p.kind {
+	case planFilter:
+		// A LIMIT'd filter computes the full distributed answer and
+		// truncates: the scatter already parallelized the scan across
+		// nodes, and the early-exit streaming optimization is a local
+		// I/O-ordering trick that does not translate to remote shards.
+		ids, st, err := db.coord.Filter(ctx, targets, p.filterTerms, p.pred, part)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Merge(st)
+		res.IDs = ids
+		if p.k > 0 && len(res.IDs) > p.k {
+			res.IDs = res.IDs[:p.k]
+		}
+	case planTopK:
+		ranked, st, err := db.coord.TopK(ctx, targets, p.scoreTerms, 0, p.k, p.order, part)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Merge(st)
+		res.Ranked = ranked
+	case planAgg:
+		groups := groupTargets(view, p, targets)
+		ranked, st, err := db.coord.AggTopK(ctx, groups, p.scoreTerms, 0, p.agg, p.k, p.order, part)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Merge(st)
+		res.Ranked = ranked
+	default:
+		return nil, fmt.Errorf("masksearch: unknown plan kind %v", p.kind)
+	}
+	if prefiltered {
+		res.Stats.Targets = nConsidered
+	}
+	if part != nil && part.Degraded() {
+		res.Degraded = true
+		res.MissingShards = part.Missing()
+	}
+	return res, nil
+}
+
+// checkDistOpts rejects per-query options that contradict distributed
+// execution before any work is shipped.
+func (db *DB) checkDistOpts(qo queryOptions) error {
+	if qo.eagerBounds {
+		// Eager bounds build the coordinator's local index, which remote
+		// execution never consults — the nodes own the bounds stage.
+		return fmt.Errorf("masksearch: WithEagerBounds is not available on a distributed DB (shard nodes own the bounds stage)")
+	}
+	return nil
+}

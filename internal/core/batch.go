@@ -63,7 +63,7 @@ type bqState struct {
 	// BatchTopK.
 	k     int
 	cands []tkCand
-	tt    *tauTracker
+	tt    *TauTracker
 	// BatchAgg: candidate groups plus the flat (group, member) list
 	// the bounds stage fans out over.
 	gcands []gcand
@@ -234,11 +234,11 @@ func ExecBatch(ctx context.Context, env *Env, queries []BatchQuery) ([]BatchResu
 				s.k = len(s.cands)
 			}
 			s.cands = topkPrune(s.cands, s.k, s.q.Order, &s.st)
-			s.tt = newTauTracker(s.k, s.q.Order)
+			s.tt = NewTauTracker(s.k, s.q.Order)
 			for i := range s.cands {
 				if s.cands[i].known {
 					s.st.AcceptedByBounds++
-					s.tt.add(s.cands[i].score)
+					s.tt.Add(s.cands[i].score)
 				} else {
 					addNeed(s.cands[i].id, consumer{qi: qi, a: i})
 				}
@@ -282,7 +282,7 @@ func ExecBatch(ctx context.Context, env *Env, queries []BatchQuery) ([]BatchResu
 			active := make([]consumer, 0, len(cons))
 			for _, c := range cons {
 				s := &states[c.qi]
-				if s.q.Kind == BatchTopK && s.tt.skip(s.cands[c.a].b) {
+				if s.q.Kind == BatchTopK && s.tt.Skip(s.cands[c.a].b) {
 					s.cands[c.a].skip = true
 					wstats[w][c.qi].RejectedByBounds++
 					continue
@@ -308,7 +308,7 @@ func ExecBatch(ctx context.Context, env *Env, queries []BatchQuery) ([]BatchResu
 					s.keep[c.a] = s.pred.Eval(vals)
 				case BatchTopK:
 					s.cands[c.a].score = vals[s.q.Score]
-					s.tt.add(s.cands[c.a].score)
+					s.tt.Add(s.cands[c.a].score)
 				case BatchAgg:
 					s.gcands[c.a].vals[c.b] = float64(vals[s.q.Score])
 				}

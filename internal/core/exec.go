@@ -240,46 +240,17 @@ func addCounters(dst *Stats, ws []Stats) {
 	}
 }
 
-// filterPar is the worker-pool Filter engine. Each target's decision
-// is independent, so the per-target outcomes — and therefore the
-// result list and every stat — are identical to the sequential path.
-func filterPar(ctx context.Context, env *Env, targets []int64, terms []CPTerm, pred Pred, workers int) ([]int64, Stats, error) {
-	st := Stats{Targets: len(targets)}
-	keep := make([]bool, len(targets))
-	wstats := make([]Stats, workers)
-	wbs := make([][]Bounds, workers)
-	for i := range wbs {
-		wbs[i] = make([]Bounds, len(terms))
-	}
-	err := fanOutLoads(ctx, env.Loader, workers, len(targets), func(i int) int64 { return targets[i] },
-		func(w, i int) error {
-			ok, err := env.filterTarget(targets[i], terms, pred, wbs[w], &wstats[w])
-			if err != nil {
-				return err
-			}
-			keep[i] = ok
-			return nil
-		})
-	addCounters(&st, wstats)
-	if err != nil {
-		return nil, st, err
-	}
-	var out []int64
-	for i, ok := range keep {
-		if ok {
-			out = append(out, targets[i])
-		}
-	}
-	return out, st, nil
-}
-
-// tauTracker maintains the k-th best exact score seen so far as a
+// TauTracker maintains the k-th best exact score seen so far as a
 // shared, atomically readable threshold. For Desc it keeps a min-heap
 // of the k largest scores (the root is τ); for Asc a max-heap of the
 // k smallest. A candidate whose upper bound is strictly worse than τ
 // cannot tie with — let alone beat — any of the k tracked candidates,
-// so skipping it can never change the top-k result.
-type tauTracker struct {
+// so skipping it can never change the top-k result. It is exported
+// (alongside TauGate) for the distributed coordinator, which is the
+// single τ authority of a scatter-gathered TopK: every exact score
+// from every shard lands here, and the refined threshold is pushed
+// back to the remote nodes' gates.
+type TauTracker struct {
 	mu   sync.Mutex
 	ord  Order
 	k    int
@@ -288,21 +259,23 @@ type tauTracker struct {
 	full atomic.Bool
 }
 
-func newTauTracker(k int, ord Order) *tauTracker {
-	return &tauTracker{ord: ord, k: k, h: make([]int64, 0, k)}
+func NewTauTracker(k int, ord Order) *TauTracker {
+	return &TauTracker{ord: ord, k: k, h: make([]int64, 0, k)}
 }
 
 // rootWorse reports whether a ranks strictly worse than b (the heap
 // root is the worst retained score).
-func (t *tauTracker) rootWorse(a, b int64) bool {
+func (t *TauTracker) rootWorse(a, b int64) bool {
 	if t.ord == Desc {
 		return a < b
 	}
 	return a > b
 }
 
-// add lands one exact score.
-func (t *tauTracker) add(s int64) {
+// Add lands one exact score. Each candidate's score must be added at
+// most once: a duplicate add would make the heap count one candidate
+// twice and tighten τ beyond what the landed scores justify.
+func (t *TauTracker) Add(s int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.h) < t.k {
@@ -344,10 +317,10 @@ func (t *tauTracker) add(s int64) {
 	t.tau.Store(t.h[0])
 }
 
-// skip reports whether a candidate with bounds b provably cannot
+// Skip reports whether a candidate with bounds b provably cannot
 // reach the k-th rank given the scores landed so far. Reading a stale
 // τ only makes the check more conservative, so no lock is needed.
-func (t *tauTracker) skip(b Bounds) bool {
+func (t *TauTracker) Skip(b Bounds) bool {
 	if !t.full.Load() {
 		return false
 	}
@@ -355,6 +328,15 @@ func (t *tauTracker) skip(b Bounds) bool {
 		return b.Hi < t.tau.Load()
 	}
 	return b.Lo > t.tau.Load()
+}
+
+// Threshold reports the current τ; ok is false until k scores have
+// landed (before that no candidate may be skipped).
+func (t *TauTracker) Threshold() (tau int64, ok bool) {
+	if !t.full.Load() {
+		return 0, false
+	}
+	return t.tau.Load(), true
 }
 
 // topkPar is the worker-pool TopK engine: parallel bounds, static
@@ -381,12 +363,12 @@ func topkPar(ctx context.Context, env *Env, targets []int64, terms []CPTerm, sco
 	}
 	cands = topkPrune(cands, k, ord, &st)
 
-	tt := newTauTracker(k, ord)
+	tt := NewTauTracker(k, ord)
 	unknown := make([]int, 0, len(cands))
 	for i := range cands {
 		if cands[i].known {
 			st.AcceptedByBounds++
-			tt.add(cands[i].score)
+			tt.Add(cands[i].score)
 		} else {
 			unknown = append(unknown, i)
 		}
@@ -395,7 +377,7 @@ func topkPar(ctx context.Context, env *Env, targets []int64, terms []CPTerm, sco
 	err = fanOutLoads(ctx, env.Loader, workers, len(unknown), func(ui int) int64 { return cands[unknown[ui]].id },
 		func(w, ui int) error {
 			c := &cands[unknown[ui]]
-			if tt.skip(c.b) {
+			if tt.Skip(c.b) {
 				c.skip = true
 				wstats[w].RejectedByBounds++
 				return nil
@@ -405,7 +387,7 @@ func topkPar(ctx context.Context, env *Env, targets []int64, terms []CPTerm, sco
 				return err
 			}
 			c.score = vals[score]
-			tt.add(c.score)
+			tt.Add(c.score)
 			return nil
 		})
 	addCounters(&st, wstats)

@@ -232,32 +232,32 @@ func TestIndexAll(t *testing.T) {
 
 // TestTauTracker unit-tests the shared threshold refinement.
 func TestTauTracker(t *testing.T) {
-	tt := newTauTracker(3, Desc)
-	if tt.skip(Bounds{0, 5}) {
+	tt := NewTauTracker(3, Desc)
+	if tt.Skip(Bounds{0, 5}) {
 		t.Fatal("tracker should not skip before k scores land")
 	}
 	for _, s := range []int64{10, 2, 7} {
-		tt.add(s)
+		tt.Add(s)
 	}
 	// Top-3 = {10, 7, 2}, τ = 2.
-	if !tt.skip(Bounds{0, 1}) || tt.skip(Bounds{0, 2}) {
+	if !tt.Skip(Bounds{0, 1}) || tt.Skip(Bounds{0, 2}) {
 		t.Fatalf("Desc τ after seed = %d, want 2 with strict skip", tt.tau.Load())
 	}
-	tt.add(8) // top-3 = {10, 8, 7}, τ = 7
-	if !tt.skip(Bounds{0, 6}) || tt.skip(Bounds{0, 7}) {
+	tt.Add(8) // top-3 = {10, 8, 7}, τ = 7
+	if !tt.Skip(Bounds{0, 6}) || tt.Skip(Bounds{0, 7}) {
 		t.Fatalf("Desc τ after refine = %d, want 7", tt.tau.Load())
 	}
 
-	ta := newTauTracker(2, Asc)
+	ta := NewTauTracker(2, Asc)
 	for _, s := range []int64{10, 2, 7} {
-		ta.add(s)
+		ta.Add(s)
 	}
 	// Bottom-2 = {2, 7}, τ = 7: skip iff Lo > 7.
-	if !ta.skip(Bounds{8, 100}) || ta.skip(Bounds{7, 100}) {
+	if !ta.Skip(Bounds{8, 100}) || ta.Skip(Bounds{7, 100}) {
 		t.Fatalf("Asc τ = %d, want 7", ta.tau.Load())
 	}
-	ta.add(3) // bottom-2 = {2, 3}
-	if !ta.skip(Bounds{4, 100}) {
+	ta.Add(3) // bottom-2 = {2, 3}
+	if !ta.Skip(Bounds{4, 100}) {
 		t.Fatalf("Asc τ after refine = %d, want 3", ta.tau.Load())
 	}
 }

@@ -186,25 +186,14 @@ func FilterEmit(ctx context.Context, env *Env, targets []int64, terms []CPTerm, 
 // per-target work fans out across goroutines; results and stats are
 // identical to the sequential engine.
 func Filter(ctx context.Context, env *Env, targets []int64, terms []CPTerm, pred Pred) ([]int64, Stats, error) {
-	if pred == nil {
-		pred = And{}
+	keep, st, err := FilterDecide(ctx, env, targets, terms, pred)
+	if err != nil {
+		return nil, st, err
 	}
-	if w := env.Exec.workers(); w > 1 && len(targets) >= minParallelTargets {
-		return filterPar(ctx, env, targets, terms, pred, w)
-	}
-	st := Stats{Targets: len(targets)}
 	var out []int64
-	bs := make([]Bounds, len(terms))
-	for i, id := range targets {
-		if err := CheckCtx(ctx, i); err != nil {
-			return nil, st, err
-		}
-		keep, err := env.filterTarget(id, terms, pred, bs, &st)
-		if err != nil {
-			return nil, st, err
-		}
-		if keep {
-			out = append(out, id)
+	for i, ok := range keep {
+		if ok {
+			out = append(out, targets[i])
 		}
 	}
 	return out, st, nil

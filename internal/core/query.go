@@ -21,6 +21,14 @@ type CPTerm struct {
 	Name   string
 	Region RegionFn
 	Range  ValueRange
+	// Spec, when its Kind is set, is the serializable description of
+	// Region. Region itself is a closure and cannot cross a process
+	// boundary; the distributed coordinator ships Spec instead and the
+	// remote node reconstructs an equivalent RegionFn against its own
+	// copy of the catalog. Terms built by the SQL facade always carry
+	// it; hand-built terms may leave it zero (RegionNone), which makes
+	// them local-only.
+	Spec RegionSpec
 }
 
 // Eval computes the exact CP of the term against a loaded mask.

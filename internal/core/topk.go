@@ -1,9 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -25,18 +27,52 @@ type tkCand struct {
 
 // topkBound fills one candidate from the index.
 func (e *Env) topkBound(id int64, term CPTerm, st *Stats) (tkCand, error) {
-	c := tkCand{id: id, b: Bounds{0, unknownHi}}
-	chi, err := e.chiFor(id, st)
-	if err != nil {
-		return c, err
+	c, err := e.boundCand(id, term, st)
+	return tkCand{id: c.ID, b: c.B, known: c.Known, score: c.Score}, err
+}
+
+// pruneByBounds is the one static-τ pruning rule every ranking
+// executor (TopK, AggTopK, batch and the distributed coordinator)
+// shares: the k-th best pessimistic bound is a score the answer
+// provably reaches, so any candidate whose optimistic bound is
+// strictly worse cannot place. Keeping ties (>= / <=) is what makes
+// the rule exact rather than heuristic. It mutates cands in place and
+// returns the survivors; reject observes each dropped candidate.
+func pruneByBounds[T any, V cmp.Ordered](cands []T, k int, ord Order, lo, hi func(T) V, reject func(T)) []T {
+	if k >= len(cands) {
+		return cands
 	}
-	if chi != nil {
-		c.b = term.BoundsFrom(chi, id)
-		if c.b.Lo == c.b.Hi {
-			c.known, c.score = true, c.b.Lo
+	sel := make([]V, len(cands))
+	if ord == Desc {
+		for i, c := range cands {
+			sel[i] = lo(c)
+		}
+		slices.SortFunc(sel, func(a, b V) int { return cmp.Compare(b, a) })
+		tau := sel[k-1]
+		kept := cands[:0]
+		for _, c := range cands {
+			if hi(c) >= tau {
+				kept = append(kept, c)
+			} else {
+				reject(c)
+			}
+		}
+		return kept
+	}
+	for i, c := range cands {
+		sel[i] = hi(c)
+	}
+	slices.Sort(sel)
+	tau := sel[k-1]
+	kept := cands[:0]
+	for _, c := range cands {
+		if lo(c) <= tau {
+			kept = append(kept, c)
+		} else {
+			reject(c)
 		}
 	}
-	return c, nil
+	return kept
 }
 
 // topkPrune drops candidates whose bounds provably cannot reach the
@@ -44,40 +80,10 @@ func (e *Env) topkBound(id int64, term CPTerm, st *Stats) (tkCand, error) {
 // 0 < k <= len(cands); it mutates cands in place and returns the
 // survivors.
 func topkPrune(cands []tkCand, k int, ord Order, st *Stats) []tkCand {
-	if k >= len(cands) {
-		return cands
-	}
-	sel := make([]int64, len(cands))
-	if ord == Desc {
-		for i, c := range cands {
-			sel[i] = c.b.Lo
-		}
-		sort.Slice(sel, func(i, j int) bool { return sel[i] > sel[j] })
-		tau := sel[k-1]
-		kept := cands[:0]
-		for _, c := range cands {
-			if c.b.Hi >= tau {
-				kept = append(kept, c)
-			} else {
-				st.RejectedByBounds++
-			}
-		}
-		return kept
-	}
-	for i, c := range cands {
-		sel[i] = c.b.Hi
-	}
-	sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
-	tau := sel[k-1]
-	kept := cands[:0]
-	for _, c := range cands {
-		if c.b.Lo <= tau {
-			kept = append(kept, c)
-		} else {
-			st.RejectedByBounds++
-		}
-	}
-	return kept
+	return pruneByBounds(cands, k, ord,
+		func(c tkCand) int64 { return c.b.Lo },
+		func(c tkCand) int64 { return c.b.Hi },
+		func(tkCand) { st.RejectedByBounds++ })
 }
 
 // TopK ranks targets by the exact value of terms[score] and returns
@@ -175,64 +181,31 @@ func gcandSkeletons(groups []Group, st *Stats) []gcand {
 	return cands
 }
 
-// memberBound resolves one group member's score bounds.
+// memberBound resolves one group member's score bounds. An unindexed
+// member's upper bound is +Inf (not unknownHi) so the group's
+// aggregate bound stays admissible for every aggregate.
 func (e *Env) memberBound(gc *gcand, i int, term CPTerm, st *Stats) error {
-	id := gc.ids[i]
-	b := Bounds{0, unknownHi}
-	chi, err := e.chiFor(id, st)
+	c, err := e.boundCand(gc.ids[i], term, st)
 	if err != nil {
 		return err
 	}
-	if chi != nil {
-		b = term.BoundsFrom(chi, id)
-		if b.Lo == b.Hi {
-			gc.known[i], gc.exact[i] = true, b.Lo
-		}
-		gc.his[i] = float64(b.Hi)
+	gc.known[i], gc.exact[i] = c.Known, c.Score
+	gc.los[i] = float64(c.B.Lo)
+	if c.Indexed {
+		gc.his[i] = float64(c.B.Hi)
 	} else {
 		gc.his[i] = math.Inf(1)
 	}
-	gc.los[i] = float64(b.Lo)
 	return nil
 }
 
 // aggPrune drops groups whose aggregate bounds provably cannot reach
 // the k-th rank. Requires 0 < k <= len(cands).
 func aggPrune(cands []gcand, k int, ord Order, st *Stats) []gcand {
-	if k >= len(cands) {
-		return cands
-	}
-	sel := make([]float64, len(cands))
-	if ord == Desc {
-		for i, c := range cands {
-			sel[i] = c.lo
-		}
-		sort.Slice(sel, func(i, j int) bool { return sel[i] > sel[j] })
-		tau := sel[k-1]
-		kept := cands[:0]
-		for _, c := range cands {
-			if c.hi >= tau {
-				kept = append(kept, c)
-			} else {
-				st.RejectedByBounds += len(c.ids)
-			}
-		}
-		return kept
-	}
-	for i, c := range cands {
-		sel[i] = c.hi
-	}
-	sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
-	tau := sel[k-1]
-	kept := cands[:0]
-	for _, c := range cands {
-		if c.lo <= tau {
-			kept = append(kept, c)
-		} else {
-			st.RejectedByBounds += len(c.ids)
-		}
-	}
-	return kept
+	return pruneByBounds(cands, k, ord,
+		func(c gcand) float64 { return c.lo },
+		func(c gcand) float64 { return c.hi },
+		func(c gcand) { st.RejectedByBounds += len(c.ids) })
 }
 
 // AggTopK groups masks, aggregates the exact value of terms[score]

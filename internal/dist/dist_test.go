@@ -1,0 +1,432 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"masksearch/internal/core"
+	"masksearch/internal/store"
+)
+
+// testCluster is a generated sharded dataset plus a local comparison
+// engine over it. Every started node opens its own store instance, so
+// node-side read counters never mix with the local engine's.
+type testCluster struct {
+	t     *testing.T
+	dir   string
+	spec  store.Spec
+	st    store.MaskStore
+	sst   *store.ShardedStore
+	cat   *store.Catalog
+	env   *core.Env
+	terms []core.CPTerm
+}
+
+func indexCfg(t *testing.T) core.Config {
+	cfg, err := core.Config{CellW: 8, CellH: 8, Edges: core.DefaultEdges(8)}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func newCluster(t *testing.T, shards int) *testCluster {
+	t.Helper()
+	dir := t.TempDir()
+	spec := store.TinySpec()
+	if err := store.GenerateSharded(dir, spec, shards); err != nil {
+		t.Fatal(err)
+	}
+	st, cat, err := store.OpenAny(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	idx := core.NewMemoryIndex(indexCfg(t))
+	env := &core.Env{
+		Loader: st, Index: idx, Exec: core.ExecFor(0),
+		OnVerify: func(id int64, m *core.Mask) {
+			if chi, _ := idx.ChiFor(id); chi == nil {
+				idx.Observe(id, m)
+			}
+		},
+	}
+	full := core.Rect{X1: spec.W, Y1: spec.H}
+	terms := []core.CPTerm{
+		{
+			Name: "obj", Region: cat.ObjectROI(),
+			Range: core.ValueRange{Lo: 0.6, Hi: 1.0},
+			Spec:  core.RegionSpec{Kind: core.RegionObject},
+		},
+		{
+			Name: "full", Region: core.FixedRegion(full),
+			Range: core.ValueRange{Lo: 0.8, Hi: 1.0},
+			Spec:  core.RegionSpec{Kind: core.RegionRect, Rect: full},
+		},
+	}
+	c := &testCluster{t: t, dir: dir, spec: spec, st: st, cat: cat, env: env, terms: terms}
+	c.sst, _ = st.(*store.ShardedStore)
+	return c
+}
+
+func (c *testCluster) shards() int {
+	if c.sst != nil {
+		return c.sst.NumShards()
+	}
+	return 1
+}
+
+func (c *testCluster) shardOf() func(int64) int {
+	if c.sst != nil {
+		return c.sst.ShardOf
+	}
+	return func(int64) int { return 0 }
+}
+
+func (c *testCluster) expect() Expect {
+	return Expect{
+		NumMasks: c.st.NumMasks(), MaskW: c.st.MaskW(), MaskH: c.st.MaskH(),
+		Shards: c.shards(), Codec: c.st.Codec(), GenVersion: c.st.GenVersion(),
+	}
+}
+
+// startNode opens a fresh store over the cluster's dataset and serves
+// it on a loopback listener. served restricts the node's shard
+// ownership (nil serves all).
+func (c *testCluster) startNode(name string, served []int) (*Node, string) {
+	c.t.Helper()
+	st, cat, err := store.OpenAny(c.dir)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	n := NewNode(name, st, cat, core.NewMemoryIndex(indexCfg(c.t)), 0, served)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	go n.Serve(lis)
+	c.t.Cleanup(func() {
+		n.Close()
+		st.Close()
+	})
+	return n, lis.Addr().String()
+}
+
+// coordinator builds a coordinator over an explicit shard → node-names
+// routing against the given name → addr table.
+func (c *testCluster) coordinator(addrs map[string]string, routes [][]string, opts CoordOptions) *Coordinator {
+	c.t.Helper()
+	topo := &Topology{}
+	for name, addr := range addrs {
+		topo.Nodes = append(topo.Nodes, NodeSpec{Name: name, Addr: addr})
+	}
+	for s, names := range routes {
+		topo.Shards = append(topo.Shards, ShardRoute{Shard: s, Nodes: names})
+	}
+	coord, err := NewCoordinator(topo, c.expect(), c.shardOf(), opts)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return coord
+}
+
+func (c *testCluster) targets() []int64 {
+	return c.cat.MaskIDs(nil)
+}
+
+// checkAll runs every plan kind through the coordinator and compares
+// byte-for-byte against the local sharded engine.
+func (c *testCluster) checkAll(coord *Coordinator, part *Partial) {
+	c.t.Helper()
+	ctx := context.Background()
+	targets := c.targets()
+	pred := core.And{core.Cmp{T: 0, Op: core.OpGt, C: 20}, core.Cmp{T: 1, Op: core.OpLt, C: 900}}
+
+	wantIDs, _, err := core.Filter(ctx, c.env, targets, c.terms, pred)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	gotIDs, _, err := coord.Filter(ctx, targets, c.terms, pred, part)
+	if err != nil {
+		c.t.Fatalf("dist filter: %v", err)
+	}
+	if !reflect.DeepEqual(gotIDs, wantIDs) {
+		c.t.Fatalf("filter mismatch: got %d ids, want %d\ngot:  %v\nwant: %v", len(gotIDs), len(wantIDs), gotIDs, wantIDs)
+	}
+
+	for _, ord := range []core.Order{core.Desc, core.Asc} {
+		want, _, err := core.TopK(ctx, c.env, targets, c.terms, 0, 10, ord)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		got, _, err := coord.TopK(ctx, targets, c.terms, 0, 10, ord, part)
+		if err != nil {
+			c.t.Fatalf("dist topk %v: %v", ord, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			c.t.Fatalf("topk %v mismatch:\ngot:  %v\nwant: %v", ord, got, want)
+		}
+	}
+
+	groups := c.cat.GroupByImage(nil)
+	for _, agg := range []core.Agg{core.Mean, core.Max} {
+		want, _, err := core.AggTopK(ctx, c.env, groups, c.terms, 0, agg, 10, core.Desc)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		got, _, err := coord.AggTopK(ctx, groups, c.terms, 0, agg, 10, core.Desc, part)
+		if err != nil {
+			c.t.Fatalf("dist agg %v: %v", agg, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			c.t.Fatalf("agg %v mismatch:\ngot:  %v\nwant: %v", agg, got, want)
+		}
+	}
+}
+
+// TestDistMatchesLocal is the byte-identity property test: every plan
+// kind, across one and two remote nodes, with and without τ exchange,
+// must reproduce the local sharded engine's results exactly.
+func TestDistMatchesLocal(t *testing.T) {
+	c := newCluster(t, 2)
+	_, addrA := c.startNode("a", nil)
+	_, addrB := c.startNode("b", nil)
+
+	cases := []struct {
+		name   string
+		addrs  map[string]string
+		routes [][]string
+		opts   CoordOptions
+	}{
+		{"one node", map[string]string{"a": addrA}, [][]string{{"a"}, {"a"}}, CoordOptions{}},
+		{"two nodes", map[string]string{"a": addrA, "b": addrB}, [][]string{{"a"}, {"b"}}, CoordOptions{}},
+		{"two nodes no tau", map[string]string{"a": addrA, "b": addrB}, [][]string{{"a"}, {"b"}}, CoordOptions{NoTauExchange: true}},
+		{"replicated", map[string]string{"a": addrA, "b": addrB}, [][]string{{"a", "b"}, {"b", "a"}}, CoordOptions{HedgeAfter: time.Millisecond}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			coord := c.coordinator(tc.addrs, tc.routes, tc.opts)
+			c.checkAll(coord, nil)
+		})
+	}
+}
+
+// TestDistFailover kills a replica-backed primary mid-run: every query
+// before and after must succeed with byte-identical results, and the
+// coordinator must record the failovers.
+func TestDistFailover(t *testing.T) {
+	c := newCluster(t, 2)
+	primary, addrA := c.startNode("a", nil)
+	_, addrB := c.startNode("b", nil)
+	coord := c.coordinator(
+		map[string]string{"a": addrA, "b": addrB},
+		[][]string{{"a", "b"}, {"a", "b"}},
+		CoordOptions{HedgeAfter: -1, DialTimeout: 500 * time.Millisecond},
+	)
+	c.checkAll(coord, nil)
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.checkAll(coord, nil)
+	st := coord.Stats()
+	if st.Failovers == 0 {
+		t.Fatalf("no failovers recorded after killing the primary: %+v", st)
+	}
+}
+
+// TestDistFailClosed: a shard whose only node is down fails the query
+// with ErrShardUnavailable — never a silent partial answer.
+func TestDistFailClosed(t *testing.T) {
+	c := newCluster(t, 2)
+	dead, addrA := c.startNode("a", nil)
+	_, addrB := c.startNode("b", nil)
+	dead.Close()
+	coord := c.coordinator(
+		map[string]string{"a": addrA, "b": addrB},
+		[][]string{{"a"}, {"b"}},
+		CoordOptions{Retries: -1, DialTimeout: 200 * time.Millisecond},
+	)
+	_, _, err := coord.Filter(context.Background(), c.targets(), c.terms, nil, nil)
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+}
+
+// TestDistDegraded: with an explicit Partial collector the same outage
+// yields the live shards' results, flagged with the missing shard.
+func TestDistDegraded(t *testing.T) {
+	c := newCluster(t, 2)
+	dead, addrA := c.startNode("a", nil)
+	_, addrB := c.startNode("b", nil)
+	dead.Close()
+	coord := c.coordinator(
+		map[string]string{"a": addrA, "b": addrB},
+		[][]string{{"a"}, {"b"}},
+		CoordOptions{Retries: -1, DialTimeout: 200 * time.Millisecond},
+	)
+	ctx := context.Background()
+	targets := c.targets()
+
+	part := coord.NewPartial()
+	got, _, err := coord.Filter(ctx, targets, c.terms, nil, part)
+	if err != nil {
+		t.Fatalf("degraded filter: %v", err)
+	}
+	if !part.Degraded() || !reflect.DeepEqual(part.Missing(), []int{0}) {
+		t.Fatalf("degraded = %v, missing = %v; want shard 0 missing", part.Degraded(), part.Missing())
+	}
+	// The degraded result must equal the local engine restricted to the
+	// live shard's targets — partial, never wrong.
+	var live []int64
+	for _, id := range targets {
+		if c.shardOf()(id) == 1 {
+			live = append(live, id)
+		}
+	}
+	want, _, err := core.Filter(ctx, c.env, live, c.terms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("degraded filter mismatch:\ngot:  %v\nwant: %v", got, want)
+	}
+	if coord.Stats().Degraded == 0 {
+		t.Fatal("degraded counter not incremented")
+	}
+
+	// Cancellation must never be reported as a degraded success.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := coord.Filter(cctx, targets, c.terms, nil, coord.NewPartial()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDistOwnership: routing a shard to a node that does not serve it
+// fails loudly instead of answering from the wrong shard.
+func TestDistOwnership(t *testing.T) {
+	c := newCluster(t, 2)
+	_, addr := c.startNode("a", []int{1})
+	coord := c.coordinator(
+		map[string]string{"a": addr},
+		[][]string{{"a"}, {"a"}},
+		CoordOptions{Retries: -1},
+	)
+	_, _, err := coord.Filter(context.Background(), c.targets(), c.terms, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "does not serve shard") {
+		t.Fatalf("err = %v, want ownership rejection", err)
+	}
+}
+
+// TestDistExpectMismatch: a node serving a different dataset is
+// rejected at hello time.
+func TestDistExpectMismatch(t *testing.T) {
+	c := newCluster(t, 2)
+	_, addr := c.startNode("a", nil)
+	topo := &Topology{
+		Nodes:  []NodeSpec{{Name: "a", Addr: addr}},
+		Shards: []ShardRoute{{Shard: 0, Nodes: []string{"a"}}, {Shard: 1, Nodes: []string{"a"}}},
+	}
+	exp := c.expect()
+	exp.NumMasks++
+	coord, err := NewCoordinator(topo, exp, c.shardOf(), CoordOptions{Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = coord.Filter(context.Background(), c.targets(), c.terms, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "different dataset") {
+		t.Fatalf("err = %v, want dataset mismatch rejection", err)
+	}
+}
+
+// TestRemoteShardStats: the coordinator's folded remote read stats
+// must equal the node's own cumulative per-shard counters exactly —
+// the facade sums them into DB.Stats() like local shard stats.
+func TestRemoteShardStats(t *testing.T) {
+	c := newCluster(t, 2)
+	node, addr := c.startNode("a", nil)
+	coord := c.coordinator(
+		map[string]string{"a": addr},
+		[][]string{{"a"}, {"a"}},
+		CoordOptions{HedgeAfter: -1, Retries: -1},
+	)
+	ctx := context.Background()
+	for range 3 {
+		if _, _, err := coord.TopK(ctx, c.targets(), c.terms, 0, 5, core.Desc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodeStats := node.st.(*store.ShardedStore).ShardStats()
+	remote := coord.RemoteShardStats()
+	if len(remote) != len(nodeStats) {
+		t.Fatalf("remote tracks %d shards, node has %d", len(remote), len(nodeStats))
+	}
+	for s := range nodeStats {
+		if remote[s] != nodeStats[s] {
+			t.Fatalf("shard %d: remote %+v != node %+v", s, remote[s], nodeStats[s])
+		}
+	}
+	if remote[0].MasksLoaded+remote[1].MasksLoaded == 0 {
+		t.Fatal("remote stats saw no mask loads at all")
+	}
+}
+
+// TestProbeNodes exercises the msinspect health probe against one live
+// and one dead node.
+func TestProbeNodes(t *testing.T) {
+	c := newCluster(t, 2)
+	_, addr := c.startNode("a", nil)
+	topo := &Topology{
+		Nodes: []NodeSpec{{Name: "a", Addr: addr}, {Name: "b", Addr: "127.0.0.1:1"}},
+		Shards: []ShardRoute{
+			{Shard: 0, Nodes: []string{"a", "b"}},
+			{Shard: 1, Nodes: []string{"b", "a"}},
+		},
+	}
+	hs := ProbeNodes(context.Background(), topo, 300*time.Millisecond)
+	if len(hs) != 2 {
+		t.Fatalf("probed %d nodes, want 2", len(hs))
+	}
+	if hs[0].Err != nil || hs[0].Res == nil || hs[0].Res.Shards != 2 {
+		t.Fatalf("live node: %+v err=%v", hs[0].Res, hs[0].Err)
+	}
+	if hs[1].Err == nil {
+		t.Fatal("dead node probe did not error")
+	}
+}
+
+// TestWirePred covers the predicate serialization boundary.
+func TestWirePred(t *testing.T) {
+	if cs, err := toWirePred(nil); err != nil || cs != nil {
+		t.Fatalf("nil pred: %v, %v", cs, err)
+	}
+	cs, err := toWirePred(core.And{core.Cmp{T: 1, Op: core.OpGe, C: 7}, core.And{core.Cmp{T: 0, Op: core.OpLt, C: 3}}})
+	if err != nil || len(cs) != 2 {
+		t.Fatalf("nested and: %v, %v", cs, err)
+	}
+	p := fromWirePred(cs)
+	if !p.Eval([]int64{2, 7}) || p.Eval([]int64{2, 6}) || p.Eval([]int64{3, 7}) {
+		t.Fatal("rebuilt predicate evaluates wrong")
+	}
+	if _, err := toWirePred(notAPred{}); !errors.Is(err, errNotDistributable) {
+		t.Fatalf("foreign pred err = %v", err)
+	}
+	bare := []core.CPTerm{{Name: "x", Region: core.FixedRegion(core.Rect{X1: 1, Y1: 1}), Range: core.ValueRange{Lo: 0, Hi: 1}}}
+	if _, err := toWireTerms(bare); !errors.Is(err, errNotDistributable) {
+		t.Fatalf("spec-less term err = %v", err)
+	}
+}
+
+type notAPred struct{}
+
+func (notAPred) Eval([]int64) bool                 { return true }
+func (notAPred) FromBounds([]core.Bounds) core.Tri { return core.Unknown }
+func (notAPred) String() string                    { return "not-a-pred" }
+
+var _ = fmt.Sprintf // keep fmt imported if assertions above change

@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// NodeSpec names one shard node and where to dial it.
+type NodeSpec struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// ShardRoute assigns one storage shard to its serving nodes: the first
+// entry is the primary, any further entries are replicas the
+// coordinator hedges to and fails over onto, in order.
+type ShardRoute struct {
+	Shard int      `json:"shard"`
+	Nodes []string `json:"nodes"`
+}
+
+// Topology is the cluster description msserve and msinspect load from
+// a JSON file:
+//
+//	{
+//	  "nodes":  [{"name": "a", "addr": "127.0.0.1:7101"},
+//	             {"name": "b", "addr": "127.0.0.1:7102"}],
+//	  "shards": [{"shard": 0, "nodes": ["a", "b"]},
+//	             {"shard": 1, "nodes": ["b", "a"]}]
+//	}
+//
+// Every node opens the full dataset (shared or replicated filesystem);
+// the topology only governs routing, so moving a shard between nodes
+// is a topology edit, not a data migration.
+type Topology struct {
+	Nodes  []NodeSpec   `json:"nodes"`
+	Shards []ShardRoute `json:"shards"`
+}
+
+// ParseTopology decodes and validates a topology document: node names
+// unique and non-empty, addresses non-empty, shard routes non-empty
+// and referring only to declared nodes, at most one route per shard.
+// Coverage of the dataset's shard range is checked separately (Routes)
+// because the shard count is a property of the opened dataset.
+func ParseTopology(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("dist: parse topology: %w", err)
+	}
+	if len(t.Nodes) == 0 {
+		return nil, fmt.Errorf("dist: topology declares no nodes")
+	}
+	byName := make(map[string]bool, len(t.Nodes))
+	for i, n := range t.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("dist: topology node %d has no name", i)
+		}
+		if n.Addr == "" {
+			return nil, fmt.Errorf("dist: topology node %q has no addr", n.Name)
+		}
+		if byName[n.Name] {
+			return nil, fmt.Errorf("dist: topology declares node %q twice", n.Name)
+		}
+		byName[n.Name] = true
+	}
+	seen := make(map[int]bool, len(t.Shards))
+	for _, r := range t.Shards {
+		if r.Shard < 0 {
+			return nil, fmt.Errorf("dist: topology routes negative shard %d", r.Shard)
+		}
+		if seen[r.Shard] {
+			return nil, fmt.Errorf("dist: topology routes shard %d twice", r.Shard)
+		}
+		seen[r.Shard] = true
+		if len(r.Nodes) == 0 {
+			return nil, fmt.Errorf("dist: topology routes shard %d to no nodes", r.Shard)
+		}
+		for _, name := range r.Nodes {
+			if !byName[name] {
+				return nil, fmt.Errorf("dist: topology routes shard %d to undeclared node %q", r.Shard, name)
+			}
+		}
+	}
+	return &t, nil
+}
+
+// LoadTopology reads and parses a topology file.
+func LoadTopology(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dist: load topology: %w", err)
+	}
+	t, err := ParseTopology(data)
+	if err != nil {
+		return nil, fmt.Errorf("dist: topology %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// node resolves a declared node by name.
+func (t *Topology) node(name string) (NodeSpec, bool) {
+	for _, n := range t.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return NodeSpec{}, false
+}
+
+// Routes resolves the per-shard node lists for a dataset with nshards
+// storage shards, enforcing that every shard in [0, nshards) has a
+// route and no route points past the dataset.
+func (t *Topology) Routes(nshards int) ([][]NodeSpec, error) {
+	routes := make([][]NodeSpec, nshards)
+	for _, r := range t.Shards {
+		if r.Shard >= nshards {
+			return nil, fmt.Errorf("dist: topology routes shard %d but the dataset has %d shard(s)", r.Shard, nshards)
+		}
+		nodes := make([]NodeSpec, len(r.Nodes))
+		for i, name := range r.Nodes {
+			n, ok := t.node(name)
+			if !ok {
+				return nil, fmt.Errorf("dist: topology routes shard %d to undeclared node %q", r.Shard, name)
+			}
+			nodes[i] = n
+		}
+		routes[r.Shard] = nodes
+	}
+	for s, nodes := range routes {
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("dist: topology has no route for shard %d (dataset has %d shard(s))", s, nshards)
+		}
+	}
+	return routes, nil
+}

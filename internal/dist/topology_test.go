@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+)
+
+const validTopo = `{
+  "nodes":  [{"name": "a", "addr": "127.0.0.1:7101"},
+             {"name": "b", "addr": "127.0.0.1:7102"}],
+  "shards": [{"shard": 0, "nodes": ["a", "b"]},
+             {"shard": 1, "nodes": ["b", "a"]}]
+}`
+
+func TestParseTopology(t *testing.T) {
+	topo, err := ParseTopology([]byte(validTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := topo.Routes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0][0].Name != "a" || routes[0][1].Name != "b" {
+		t.Fatalf("shard 0 route = %+v, want primary a, replica b", routes[0])
+	}
+	if routes[1][0].Addr != "127.0.0.1:7102" {
+		t.Fatalf("shard 1 primary addr = %q", routes[1][0].Addr)
+	}
+}
+
+func TestParseTopologyRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"bad json", `{`, "parse topology"},
+		{"no nodes", `{"nodes": [], "shards": []}`, "no nodes"},
+		{"unnamed node", `{"nodes": [{"addr": "x:1"}]}`, "has no name"},
+		{"no addr", `{"nodes": [{"name": "a"}]}`, "has no addr"},
+		{"dup node", `{"nodes": [{"name":"a","addr":"x:1"},{"name":"a","addr":"x:2"}]}`, "twice"},
+		{"negative shard", `{"nodes": [{"name":"a","addr":"x:1"}], "shards": [{"shard":-1,"nodes":["a"]}]}`, "negative shard"},
+		{"dup shard", `{"nodes": [{"name":"a","addr":"x:1"}], "shards": [{"shard":0,"nodes":["a"]},{"shard":0,"nodes":["a"]}]}`, "twice"},
+		{"empty route", `{"nodes": [{"name":"a","addr":"x:1"}], "shards": [{"shard":0,"nodes":[]}]}`, "no nodes"},
+		{"unknown node", `{"nodes": [{"name":"a","addr":"x:1"}], "shards": [{"shard":0,"nodes":["z"]}]}`, "undeclared node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTopology([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRoutesCoverage(t *testing.T) {
+	topo, err := ParseTopology([]byte(validTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Routes(3); err == nil || !strings.Contains(err.Error(), "no route for shard 2") {
+		t.Fatalf("uncovered shard: err = %v", err)
+	}
+	if _, err := topo.Routes(1); err == nil || !strings.Contains(err.Error(), "routes shard 1") {
+		t.Fatalf("route past dataset: err = %v", err)
+	}
+}

@@ -6,14 +6,28 @@ import (
 )
 
 // loadCallNames are the calls that hit storage (or run a verification
-// kernel over a freshly loaded mask) from inside internal/core. A
-// loop issuing them without polling its context is the cancellation
-// stall fixed in PR 4: a Filter over 100k targets kept loading masks
-// for seconds after the client had gone away.
+// kernel over a freshly loaded mask) from inside the checked
+// packages. A loop issuing them without polling its context is the
+// cancellation stall fixed in PR 4: a Filter over 100k targets kept
+// loading masks for seconds after the client had gone away. The
+// distributed layer adds its blocking network calls: a retry loop
+// around them that ignores ctx would keep dialing dead nodes after
+// the query was cancelled.
 var loadCallNames = map[string]bool{
 	"LoadMask":   true,
 	"LoadRegion": true,
 	"verify":     true,
+	"roundTrip":  true,
+	"helloAddr":  true,
+}
+
+// ctxLoopScope is the packages CtxLoop checks: the verification core
+// and the distributed layer, whose loops hold connections and disk
+// reads that must stop when the caller goes away.
+var ctxLoopScope = map[string]bool{
+	"masksearch/internal/core": true,
+	"masksearch/internal/dist": true,
+	"masksearch/cmd/msshard":   true,
 }
 
 // CtxLoop flags for/range loops in internal/core whose body loads
@@ -25,9 +39,9 @@ var loadCallNames = map[string]bool{
 // contains "ctx".
 var CtxLoop = &Analyzer{
 	Name: "ctxloop",
-	Doc:  "verification loops in internal/core must poll ctx (CheckCtx, ctx.Err or select on ctx.Done) every iteration",
+	Doc:  "verification and network loops in core, dist and msshard must poll ctx (CheckCtx, ctx.Err or select on ctx.Done) every iteration",
 	Run: func(p *Pass) {
-		if p.Pkg.Path != "masksearch/internal/core" {
+		if !ctxLoopScope[p.Pkg.Path] {
 			return
 		}
 		inspectFiles(p.Pkg, func(_ *ast.File, _ string, n ast.Node) bool {
@@ -52,6 +66,13 @@ var CtxLoop = &Analyzer{
 func containsLoadCall(body ast.Node) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
+		// A load inside a function literal (a per-iteration goroutine,
+		// or a callback handed to an orchestrator) is not this loop's
+		// stall: the function runs under its own control flow, which
+		// is checked wherever it loops itself.
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
 		if call, ok := n.(*ast.CallExpr); ok && loadCallNames[calleeName(call)] {
 			found = true
 		}

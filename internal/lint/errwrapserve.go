@@ -19,6 +19,8 @@ var wrapScope = map[string]bool{
 	"masksearch":                true,
 	"masksearch/internal/store": true,
 	"masksearch/internal/serve": true,
+	"masksearch/internal/dist":  true,
+	"masksearch/cmd/msshard":    true,
 }
 
 const servePkgPath = "masksearch/internal/serve"

@@ -39,6 +39,30 @@ func scanCheckCtx(ctx context.Context, ld cloader, ids []int64) error {
 	return nil
 }
 
+// scatterLoads fans each load out to a goroutine: the loop itself
+// never blocks on storage, so the poll obligation belongs to whatever
+// the goroutines run under (the orchestrator selects on ctx.Done),
+// not to this loop.
+func scatterLoads(ctx context.Context, ld cloader, ids []int64) {
+	done := make(chan error, len(ids))
+	for _, id := range ids {
+		go func(id int64) {
+			m, err := ld.LoadMask(id)
+			if err == nil {
+				ld.ReleaseMask(m)
+			}
+			done <- err
+		}(id)
+	}
+	for range ids {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 // sumIDs has no loads, so no poll is needed.
 func sumIDs(ids []int64) int64 {
 	var n int64

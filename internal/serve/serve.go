@@ -144,6 +144,10 @@ type queryRequest struct {
 	Session   string `json:"session,omitempty"`
 	Stream    bool   `json:"stream,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// DegradedOK opts this query into partial results on a distributed
+	// server: when a shard has no live route the response is flagged
+	// degraded instead of failing 503. No-op on a local server.
+	DegradedOK bool `json:"degraded_ok,omitempty"`
 }
 
 // batchRequest is the /batch body, in one of two forms: SQLs runs
@@ -156,6 +160,9 @@ type batchRequest struct {
 	ArgSets   [][]any  `json:"arg_sets,omitempty"`
 	Session   string   `json:"session,omitempty"`
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	// DegradedOK opts the whole batch into partial results on a
+	// distributed server (see queryRequest.DegradedOK).
+	DegradedOK bool `json:"degraded_ok,omitempty"`
 }
 
 type explainRequest struct {
@@ -188,6 +195,11 @@ type queryResponse struct {
 	Rows    int          `json:"rows"`
 	Stats   statsJSON    `json:"stats"`
 	Session string       `json:"session,omitempty"`
+	// Degraded marks a partial answer from a distributed server that
+	// lost MissingShards' every route; only possible when the request
+	// set degraded_ok.
+	Degraded      bool  `json:"degraded,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 }
 
 type batchResponse struct {
@@ -232,6 +244,8 @@ func toResponse(res *masksearch.Result, session string) queryResponse {
 			out.Ranked[i] = scoredJSON{ID: r.ID, Score: r.Score}
 		}
 	}
+	out.Degraded = res.Degraded
+	out.MissingShards = res.MissingShards
 	out.Rows = len(out.IDs) + len(out.Ranked)
 	return out
 }
@@ -268,6 +282,10 @@ func statusFor(err error) int {
 	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
 	case errors.Is(err, masksearch.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, masksearch.ErrShardUnavailable):
+		// The query was valid; the cluster was not — a retryable
+		// availability condition, not a server bug.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -385,12 +403,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sess.queries.Add(1)
 	}
 	s.c.queries.Add(1)
+	args := req.Args
+	if req.DegradedOK {
+		args = append(append([]any{}, args...), masksearch.WithDegradedResults())
+	}
 	if req.Stream {
 		s.c.streams.Add(1)
-		s.streamQuery(w, ctx, stmt, req.Args)
+		s.streamQuery(w, ctx, stmt, args)
 		return
 	}
-	res, err := stmt.Query(ctx, req.Args...)
+	res, err := stmt.Query(ctx, args...)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -472,13 +494,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	var opts []masksearch.QueryOpt
+	if req.DegradedOK {
+		opts = append(opts, masksearch.WithDegradedResults())
+	}
 	var results []*masksearch.Result
 	var err error
 	if multi {
 		// Touch the session for liveness even though a multi-statement
 		// batch binds nothing; its statements still warm the plan cache.
 		s.sessions.get(req.Session, time.Now())
-		results, err = s.db.QueryBatch(ctx, req.SQLs)
+		results, err = s.db.QueryBatch(ctx, req.SQLs, opts...)
 	} else {
 		var stmt *masksearch.Stmt
 		var sess *session
@@ -487,7 +513,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if sess != nil {
 				sess.queries.Add(1)
 			}
-			results, err = stmt.QueryBatch(ctx, req.ArgSets)
+			results, err = stmt.QueryBatch(ctx, req.ArgSets, opts...)
 		}
 	}
 	if err != nil {
@@ -605,6 +631,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			cur[fmt.Sprintf("msserve.store.shard%03d.MasksLoaded", i)] = float64(srs.MasksLoaded)
 			cur[fmt.Sprintf("msserve.store.shard%03d.BytesRead", i)] = float64(srs.BytesRead)
 		}
+	}
+	if ds.Dist != nil {
+		cur["msserve.dist.Requests"] = float64(ds.Dist.Requests)
+		cur["msserve.dist.Hedges"] = float64(ds.Dist.Hedges)
+		cur["msserve.dist.HedgeWins"] = float64(ds.Dist.HedgeWins)
+		cur["msserve.dist.Retries"] = float64(ds.Dist.Retries)
+		cur["msserve.dist.Failovers"] = float64(ds.Dist.Failovers)
+		cur["msserve.dist.TauSent"] = float64(ds.Dist.TauSent)
+		cur["msserve.dist.Degraded"] = float64(ds.Dist.Degraded)
+		cur["msserve.dist.BytesSent"] = float64(ds.Dist.BytesSent)
+		cur["msserve.dist.BytesRecv"] = float64(ds.Dist.BytesRecv)
 	}
 	rates := s.scrape.rates(now, s.started, cur)
 

@@ -218,24 +218,30 @@ func (t *planTemplate) bind(args []float64) (*plan, error) {
 	return &p, nil
 }
 
-// region resolves a parsed region spec to a RegionFn over this DB.
-func (db *DB) region(r regionSpec) core.RegionFn {
+// region resolves a parsed region spec to a RegionFn over this DB,
+// plus its wire-friendly RegionSpec so a distributed coordinator can
+// ship the term to shard nodes (every parser-produced region is
+// serializable; only hand-built terms can carry RegionNone).
+func (db *DB) region(r regionSpec) (core.RegionFn, core.RegionSpec) {
 	switch r.kind {
 	case regionObject:
-		return db.cat.ObjectROI()
+		return db.cat.ObjectROI(), core.RegionSpec{Kind: core.RegionObject}
 	case regionFull:
-		return core.FixedRegion(core.Rect{X0: 0, Y0: 0, X1: db.st.MaskW(), Y1: db.st.MaskH()})
+		full := core.Rect{X0: 0, Y0: 0, X1: db.st.MaskW(), Y1: db.st.MaskH()}
+		return core.FixedRegion(full), core.RegionSpec{Kind: core.RegionRect, Rect: full}
 	default:
-		return core.FixedRegion(r.rect)
+		return core.FixedRegion(r.rect), core.RegionSpec{Kind: core.RegionRect, Rect: r.rect}
 	}
 }
 
 // term compiles a CP expression. Placeholder value bounds start at
 // their zero values; bindRange patches them before execution.
 func (db *DB) term(cp *cpExpr) core.CPTerm {
+	fn, spec := db.region(cp.region)
 	return core.CPTerm{
 		Name:   cp.String(),
-		Region: db.region(cp.region),
+		Region: fn,
+		Spec:   spec,
 		Range:  core.ValueRange{Lo: cp.lo.v, Hi: cp.hi.v},
 	}
 }
@@ -557,6 +563,23 @@ func (db *DB) planAgg(stmt *selectStmt, p *plan) (*cpExpr, error) {
 // configured cache still serves their overlapping masks) — batching
 // must never do more I/O for them than running them alone would.
 func (db *DB) execBatch(ctx context.Context, env *core.Env, plans []*plan, qo queryOptions) ([]*Result, error) {
+	if db.coord != nil {
+		// Distributed batch: each statement scatter-gathers across the
+		// shard nodes on its own — the node-side work is already
+		// parallel, and per-statement execution keeps the batch
+		// byte-identical to running its statements one by one (the
+		// batch API's contract; local batching is an I/O-sharing trick,
+		// not a semantic one).
+		results := make([]*Result, len(plans))
+		for i, p := range plans {
+			r, err := db.run(ctx, p, qo)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
 	results := make([]*Result, len(plans))
 	targets := make([][]int64, len(plans))
 	nConsidered := make([]int, len(plans))

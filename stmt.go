@@ -72,6 +72,7 @@ type queryOptions struct {
 	workers     *int // nil: inherit Options.Workers
 	eagerBounds bool
 	readOnlyIdx bool
+	degradedOK  bool
 }
 
 // QueryOpt tunes one query execution without reopening the DB.
@@ -105,6 +106,16 @@ func WithEagerBounds() QueryOpt {
 // rejected at execution time.
 func WithoutIndexUpdates() QueryOpt {
 	return func(qo *queryOptions) { qo.readOnlyIdx = true }
+}
+
+// WithDegradedResults lets a query on a distributed DB return a
+// partial answer when a shard's every route (primary, replicas,
+// retries) is down, instead of failing with ErrShardUnavailable. A
+// degraded answer sets Result.Degraded and lists the missing shards;
+// degradation never happens silently. On a local DB this option is a
+// no-op — local execution has no shard to lose.
+func WithDegradedResults() QueryOpt {
+	return func(qo *queryOptions) { qo.degradedOK = true }
 }
 
 // splitArgs separates QueryOpt values from bind parameters and
@@ -196,6 +207,7 @@ func (s *Stmt) QueryBatch(ctx context.Context, argSets [][]any, opts ...QueryOpt
 		}
 		qo.eagerBounds = qo.eagerBounds || setQO.eagerBounds
 		qo.readOnlyIdx = qo.readOnlyIdx || setQO.readOnlyIdx
+		qo.degradedOK = qo.degradedOK || setQO.degradedOK
 		p, err := s.tmpl.bind(vals)
 		if err != nil {
 			return nil, fmt.Errorf("argument set %d: %w", i+1, err)
